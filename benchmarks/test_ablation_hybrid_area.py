@@ -1,0 +1,84 @@
+"""Ablation: the hybrid area model vs raw template counts alone.
+
+The paper's area estimator adds design-level NN corrections (routing LUTs,
+duplication, unavailable LUTs) on top of per-template counts. This ablation
+disables the corrections and measures how much ALM accuracy they buy —
+the raw-count model systematically underestimates because it sees none of
+the place-and-route overheads of Section IV-A.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks
+from repro.estimation import raw_area
+from repro.synth import synthesize
+
+from conftest import write_result
+
+
+def _raw_only_alms(design, estimator):
+    """ALMs from template counts + packing only (no NN corrections)."""
+    device = estimator.board.device
+    raw = raw_area(design, estimator.templates).counts
+    rate = device.lut_pack_rate
+    units = (
+        raw.luts_unpackable
+        + raw.luts_packable * (1 - rate)
+        + raw.luts_packable * rate / 2
+    )
+    extra = max(0.0, raw.regs - device.regs_per_alm * units)
+    return units + extra / device.regs_per_alm
+
+
+@pytest.fixture(scope="module")
+def comparison(estimator):
+    rows = []
+    for bench in all_benchmarks():
+        ds = bench.default_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        rep = synthesize(design)
+        hybrid = estimator.estimate_area(design).alms
+        raw_only = _raw_only_alms(design, estimator)
+        rows.append(
+            (
+                bench.name,
+                abs(hybrid - rep.alms) / rep.alms,
+                abs(raw_only - rep.alms) / rep.alms,
+                (raw_only - rep.alms) / rep.alms,
+            )
+        )
+    return rows
+
+
+def test_hybrid_beats_raw_counts(comparison, results_dir):
+    lines = [
+        f"{'Benchmark':14s} {'hybrid err':>11s} {'raw-only err':>13s} "
+        f"{'raw bias':>9s}"
+    ]
+    for name, hybrid_err, raw_err, raw_bias in comparison:
+        lines.append(
+            f"{name:14s} {hybrid_err:10.1%} {raw_err:12.1%} {raw_bias:+9.1%}"
+        )
+    hybrid_avg = float(np.mean([r[1] for r in comparison]))
+    raw_avg = float(np.mean([r[2] for r in comparison]))
+    lines.append(
+        f"{'Average':14s} {hybrid_avg:10.1%} {raw_avg:12.1%}"
+    )
+    write_result(
+        results_dir / "ablation_hybrid_area.txt",
+        "Ablation — hybrid (NN-corrected) vs raw-count area estimation",
+        lines,
+    )
+    assert hybrid_avg < raw_avg
+    # Raw counts systematically underestimate (they ignore routing,
+    # duplication, and fragmentation).
+    assert float(np.mean([r[3] for r in comparison])) < 0.0
+
+
+def test_bench_hybrid_area(benchmark, estimator):
+    bench = all_benchmarks()[5]  # gda
+    ds = bench.default_dataset()
+    design = bench.build(ds, **bench.default_params(ds))
+    result = benchmark(estimator.estimate_area, design)
+    assert result.alms > 0

@@ -1,0 +1,81 @@
+"""Ablation: the value of coarse-grained pipelining (MetaPipe toggles).
+
+The paper's central design-space claim is that capturing parallelism at
+multiple levels with MetaPipes yields better designs than HLS-style spaces
+that cannot express them (Figure 2 vs Figure 3). This ablation explores
+each benchmark's space twice — once as-is, once with every MetaPipe toggle
+forced off — and compares the best achievable runtime.
+"""
+
+import pytest
+
+from repro.apps import all_benchmarks
+from repro.dse import explore
+from repro.dse.explorer import ExplorationResult
+
+from conftest import DSE_POINTS, write_result
+
+TOGGLE_PREFIXES = ("metapipe", "mp_", "m1", "m2")
+
+
+def _is_toggle(name: str) -> bool:
+    return name == "metapipe" or name.startswith("mp_") or name in ("m1", "m2")
+
+
+def _best_without_metapipes(result: ExplorationResult):
+    points = [
+        p
+        for p in result.valid_points
+        if not any(p.params[k] for k in p.params if _is_toggle(k))
+    ]
+    return min(points, key=lambda p: p.cycles) if points else None
+
+
+@pytest.fixture(scope="module")
+def ablation(estimator):
+    out = {}
+    for bench in all_benchmarks():
+        res = explore(bench, estimator, max_points=DSE_POINTS, seed=41)
+        with_mp = res.best
+        without_mp = _best_without_metapipes(res)
+        out[bench.name] = (with_mp, without_mp)
+    return out
+
+
+def test_metapipe_ablation_table(ablation, results_dir):
+    lines = [
+        f"{'Benchmark':14s} {'best w/ MetaPipe':>17s} "
+        f"{'best w/o':>12s} {'gain':>7s}"
+    ]
+    gains = {}
+    for name, (with_mp, without_mp) in ablation.items():
+        if with_mp is None or without_mp is None:
+            continue
+        gain = without_mp.cycles / with_mp.cycles
+        gains[name] = gain
+        lines.append(
+            f"{name:14s} {with_mp.cycles:17.4g} "
+            f"{without_mp.cycles:12.4g} {gain:6.2f}x"
+        )
+    write_result(
+        results_dir / "ablation_metapipe.txt",
+        "Ablation — MetaPipe (coarse-grained pipelining) benefit",
+        lines,
+    )
+    # Coarse-grained pipelining must help the nested benchmarks...
+    assert gains["gda"] > 1.1
+    assert gains["dotproduct"] > 1.1
+    # ...and never helps by accident where it genuinely should not
+    # (outerprod overlapping transfers contend for DRAM).
+    assert gains["outerprod"] < 1.6
+
+
+def test_bench_explore_with_toggles(benchmark, estimator):
+    from repro.apps import get_benchmark
+
+    bench = get_benchmark("gda")
+    result = benchmark.pedantic(
+        lambda: explore(bench, estimator, max_points=60, seed=2),
+        rounds=1, iterations=1,
+    )
+    assert result.points

@@ -1,0 +1,91 @@
+"""Section IV-A: magnitudes of the low-level place-and-route effects.
+
+The paper quantifies each effect in its designs: ~80% of functions pack in
+pairs (-40% LUTs), route-through LUTs ~10% of used LUTs, duplicated
+registers ~5%, BRAM duplication 10-100%, unavailable LUTs ~4%. This bench
+measures the same statistics across a population of synthesized designs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimation import generate_sample_design
+from repro.synth import synthesize
+
+from conftest import write_result
+
+N_DESIGNS = 60
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return [
+        synthesize(generate_sample_design(7_000 + k)) for k in range(N_DESIGNS)
+    ]
+
+
+def _fractions(reports):
+    packed, routing, dup_reg, dup_bram, unavail, lut_saving = (
+        [], [], [], [], [], []
+    )
+    for r in reports:
+        raw = r.raw_luts_packable + r.raw_luts_unpackable
+        packed.append(r.packed_fraction)
+        routing.append(r.routing_luts / max(raw, 1))
+        dup_reg.append(r.duplicated_regs / max(r.regs, 1))
+        raw_brams = r.brams - r.duplicated_brams
+        if raw_brams >= 3:
+            dup_bram.append(r.duplicated_brams / raw_brams)
+        unavail.append(r.unavailable_luts / max(r.total_luts, 1))
+        # LUT units after packing vs before.
+        units = (
+            r.raw_luts_unpackable
+            + r.raw_luts_packable * (1 - r.packed_fraction)
+            + r.raw_luts_packable * r.packed_fraction / 2
+        )
+        lut_saving.append(1 - units / max(raw, 1))
+    return {
+        "packed": np.array(packed),
+        "routing": np.array(routing),
+        "dup_reg": np.array(dup_reg),
+        "dup_bram": np.array(dup_bram),
+        "unavail": np.array(unavail),
+        "lut_saving": np.array(lut_saving),
+    }
+
+
+def test_section4_effect_magnitudes(reports, results_dir):
+    f = _fractions(reports)
+    lines = [
+        f"{'Effect':28s} {'mean':>7s} {'min':>7s} {'max':>7s}   paper",
+        f"{'LUT pack rate':28s} {f['packed'].mean():7.1%} "
+        f"{f['packed'].min():7.1%} {f['packed'].max():7.1%}   ~80%",
+        f"{'LUT saving from packing':28s} {f['lut_saving'].mean():7.1%} "
+        f"{f['lut_saving'].min():7.1%} {f['lut_saving'].max():7.1%}   ~40%",
+        f"{'Route-through LUTs':28s} {f['routing'].mean():7.1%} "
+        f"{f['routing'].min():7.1%} {f['routing'].max():7.1%}   ~10%",
+        f"{'Duplicated registers':28s} {f['dup_reg'].mean():7.1%} "
+        f"{f['dup_reg'].min():7.1%} {f['dup_reg'].max():7.1%}   ~5%",
+        f"{'Duplicated BRAMs':28s} {f['dup_bram'].mean():7.1%} "
+        f"{f['dup_bram'].min():7.1%} {f['dup_bram'].max():7.1%}   10-100%",
+        f"{'Unavailable LUTs':28s} {f['unavail'].mean():7.1%} "
+        f"{f['unavail'].min():7.1%} {f['unavail'].max():7.1%}   ~4%",
+    ]
+    write_result(
+        results_dir / "section4_effects.txt",
+        "Section IV-A — low-level toolchain effects",
+        lines,
+    )
+    assert 0.70 <= f["packed"].mean() <= 0.90
+    assert 0.30 <= f["lut_saving"].mean() <= 0.50
+    assert 0.05 <= f["routing"].mean() <= 0.15
+    assert 0.02 <= f["dup_reg"].mean() <= 0.09
+    assert 0.05 <= f["dup_bram"].mean() <= 1.0
+    assert f["dup_bram"].max() <= 1.35  # noisy but bounded near 100%
+    assert 0.02 <= f["unavail"].mean() <= 0.08
+
+
+def test_bench_synthesize(benchmark):
+    design = generate_sample_design(999)
+    report = benchmark(synthesize, design)
+    assert report.alms > 0

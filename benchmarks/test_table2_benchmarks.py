@@ -1,0 +1,34 @@
+"""Table II: evaluation benchmarks and dataset sizes.
+
+Regenerates the benchmark inventory and measures design-construction cost
+(the metaprogramming step executed once per DSE point).
+"""
+
+from repro.apps import all_benchmarks, get_benchmark
+
+from conftest import run_once, write_result
+
+
+def _rows():
+    lines = [f"{'Benchmark':14s} {'Description':45s} Dataset"]
+    for bench in all_benchmarks():
+        ds = ", ".join(
+            f"{k}={v:,}" for k, v in bench.default_dataset().items()
+        )
+        lines.append(f"{bench.name:14s} {bench.description:45s} {ds}")
+    return lines
+
+
+def test_table2_rows(benchmark, results_dir):
+    lines = run_once(benchmark, _rows)
+    write_result(results_dir / "table2.txt", "Table II — benchmarks", lines)
+    assert len(lines) == 8  # header + seven benchmarks
+
+
+def test_bench_design_construction(benchmark):
+    """Time to instantiate one design point (gda, the running example)."""
+    bench = get_benchmark("gda")
+    ds = bench.default_dataset()
+    params = bench.default_params(ds)
+    design = benchmark(lambda: bench.build(ds, **params))
+    assert design.finalized

@@ -1,0 +1,79 @@
+"""Fixed-point FIR filter: quantization trade-off study.
+
+DHDL supports variable bit-width fixed-point types; narrower datapaths
+cost dramatically less FPGA area but inject quantization noise. This
+example builds the same 8-tap FIR filter at several fixed-point widths
+(and in float), runs each bit-accurately, and reports the accuracy/area
+trade-off — the classic wordlength-optimization workflow on top of the
+framework's estimation stack.
+
+Run:  python examples/fixed_point_filter.py
+"""
+
+import numpy as np
+
+from repro import Design, FunctionalSim, default_estimator
+from repro.ir import FixPt, Float32, HWType
+from repro.ir import builder as hw
+
+TAPS = [0.0625, 0.125, 0.1875, 0.25, 0.1875, 0.125, 0.0625, -0.0625]
+
+
+def build_fir(n: int, tile: int, tp: HWType, par: int = 4) -> Design:
+    ntaps = len(TAPS)
+    with Design("fir") as design:
+        x = hw.offchip("x", tp, n + ntaps)  # padded input
+        y = hw.offchip("y", tp, n)
+        with hw.sequential("top"):
+            with hw.loop("tiles", [(n, tile)], metapipe_=True) as tiles:
+                (i,) = tiles.iters
+                xT = hw.bram("xT", tp, tile + ntaps)
+                yT = hw.bram("yT", tp, tile)
+                hw.tile_load(x, xT, (i,), (tile + ntaps,), par=par)
+                with hw.pipe("fir", [(tile, 1)], par=par) as fir:
+                    (j,) = fir.iters
+                    acc = xT[j] * TAPS[0]
+                    for t in range(1, ntaps):
+                        acc = acc + xT[j + t] * TAPS[t]
+                    yT[j] = acc
+                hw.tile_store(y, yT, (i,), (tile,), par=par)
+    return design
+
+
+def main() -> None:
+    n, tile = 1024, 128
+    rng = np.random.default_rng(3)
+    signal = rng.normal(scale=0.8, size=n + len(TAPS))
+
+    # Golden: double-precision convolution.
+    golden = np.array(
+        [sum(TAPS[t] * signal[j + t] for t in range(len(TAPS)))
+         for j in range(n)]
+    )
+
+    estimator = default_estimator()
+    print(f"{'type':>12s} {'SNR (dB)':>9s} {'ALMs':>8s} {'DSPs':>5s} "
+          f"{'regs':>8s}")
+    configs = [
+        ("float32", Float32),
+        ("Q8.24", FixPt(True, 8, 24)),
+        ("Q8.16", FixPt(True, 8, 16)),
+        ("Q8.8", FixPt(True, 8, 8)),
+        ("Q4.4", FixPt(True, 4, 4)),
+    ]
+    for label, tp in configs:
+        design = build_fir(n, tile, tp)
+        out = FunctionalSim(design, quantize=True).run({"x": signal})["y"]
+        noise = float(np.mean((out - golden) ** 2))
+        snr = 10 * np.log10(np.mean(golden**2) / max(noise, 1e-30))
+        est = estimator.estimate(design)
+        snr_str = f"{min(snr, 300):9.1f}" if noise > 0 else "    exact"
+        print(f"{label:>12s} {snr_str} {est.alms:8,d} {est.dsps:5d} "
+              f"{est.area.regs:8,d}")
+
+    print("\nnarrower fixed point trades SNR for area: Q8.16 is transparent "
+          "for this filter at a fraction of the float datapath's cost.")
+
+
+if __name__ == "__main__":
+    main()

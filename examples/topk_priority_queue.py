@@ -1,0 +1,65 @@
+"""Top-k selection with the hardware priority queue template.
+
+DHDL's Table I includes a priority-queue template none of the seven
+evaluation benchmarks exercise. This example puts it to work: a streaming
+top-k accelerator that scans a large score array tile by tile, keeps the k
+smallest distances in a sorting queue, and writes the winners back —
+the inner loop of a nearest-neighbor search.
+
+Run:  python examples/topk_priority_queue.py
+"""
+
+import numpy as np
+
+from repro import Design, FunctionalSim, default_estimator
+from repro.ir import Float32
+from repro.ir import builder as hw
+
+
+def build_topk(n: int, k: int, tile: int, par_mem: int, metapipe: bool) -> Design:
+    with Design("topk") as design:
+        scores = hw.offchip("scores", Float32, n)
+        winners = hw.offchip("winners", Float32, k)
+        with hw.sequential("top"):
+            queue = hw.pqueue("best", Float32, k, ascending=True)
+            with hw.loop("tiles", [(n, tile)], metapipe_=metapipe) as tiles:
+                (i,) = tiles.iters
+                buf = hw.bram("buf", Float32, tile)
+                hw.tile_load(scores, buf, (i,), (tile,), par=par_mem)
+                with hw.pipe("insert", [(tile, 1)]) as insert:
+                    (j,) = insert.iters
+                    queue.enqueue(buf[j])
+            outT = hw.bram("outT", Float32, k)
+            with hw.pipe("drain", [(k, 1)]) as drain:
+                (j,) = drain.iters
+                outT[j] = queue.peek(j)
+            hw.tile_store(winners, outT, (0,), (k,))
+    return design
+
+
+def main() -> None:
+    n, k = 4096, 8
+
+    design = build_topk(n, k, tile=256, par_mem=8, metapipe=True)
+    rng = np.random.default_rng(42)
+    scores = rng.exponential(scale=10.0, size=n)
+    outputs = FunctionalSim(design).run({"scores": scores})
+    expected = np.sort(scores)[:k]
+    assert np.allclose(outputs["winners"], expected)
+    print(f"top-{k} of {n} scores: {np.round(outputs['winners'], 3)}")
+    print("matches numpy partial sort: OK")
+
+    # What does the queue cost, and how does k scale?
+    estimator = default_estimator()
+    print(f"\n{'k':>5s} {'ALMs':>8s} {'regs':>9s} {'cycles':>9s}")
+    for k_try in (4, 16, 64, 256):
+        d = build_topk(1 << 20, k_try, tile=4096, par_mem=16, metapipe=True)
+        est = estimator.estimate(d)
+        print(f"{k_try:5d} {est.alms:8,d} {est.area.regs:9,d} "
+              f"{est.cycles:9,.0f}")
+    print("\nqueue area grows linearly with k (shift-insertion sorter); "
+          "runtime is insert-rate bound, independent of k.")
+
+
+if __name__ == "__main__":
+    main()

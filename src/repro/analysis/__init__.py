@@ -1,0 +1,12 @@
+"""Design analysis: bottleneck attribution and roofline placement."""
+
+from .bottleneck import Bottleneck, diagnose
+from .roofline import RooflinePoint, analyze, total_dram_bytes
+
+__all__ = [
+    "Bottleneck",
+    "RooflinePoint",
+    "analyze",
+    "diagnose",
+    "total_dram_bytes",
+]

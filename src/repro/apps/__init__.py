@@ -1,0 +1,17 @@
+"""The seven evaluation benchmarks from the paper's Table II."""
+
+from .registry import (
+    MAX_TILE_WORDS,
+    Benchmark,
+    all_benchmarks,
+    get_benchmark,
+    register,
+)
+
+__all__ = [
+    "MAX_TILE_WORDS",
+    "Benchmark",
+    "all_benchmarks",
+    "get_benchmark",
+    "register",
+]

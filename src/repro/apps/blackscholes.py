@@ -1,0 +1,175 @@
+"""Black-Scholes option pricing benchmark (paper Table II: N = 9,995,328).
+
+Financial analytics with a deep floating-point pipeline (log, exp, sqrt,
+divide, and the Abramowitz-Stegun cumulative-normal polynomial). The FPGA
+exploits pipeline parallelism far beyond the CPU's ILP — the paper's
+largest speedup (16.7x) — until ALMs run out around an inner
+parallelization of 16.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..cpu import kernels
+from ..cpu.model import XEON_E5_2630, CPUModel
+from ..ir import Design, Float32, Value
+from ..ir import builder as hw
+from ..params import ParamSpace, divisors
+from .registry import (
+    MAX_TILE_WORDS,
+    Benchmark,
+    Dataset,
+    Inputs,
+    Params,
+    register,
+)
+
+# Abramowitz-Stegun polynomial coefficients.
+_A = (0.319381530, -0.356563782, 1.781477937, -1.821255978, 1.330274429)
+_INV_SQRT_2PI = 0.3989422804014327
+
+# Calibration: PARSEC blackscholes spends roughly this many cycles per
+# option per core on a Sandy-Bridge-class machine (transcendental-heavy,
+# limited vectorization in the reference implementation).
+CPU_CYCLES_PER_OPTION = 210.0
+
+
+def _cndf(x: Value) -> Value:
+    """Cumulative normal distribution as a DHDL dataflow expression."""
+    ax = hw.abs_(x)
+    k = 1.0 / (1.0 + 0.2316419 * ax)
+    poly = k * (_A[0] + k * (_A[1] + k * (_A[2] + k * (_A[3] + k * _A[4]))))
+    w = 1.0 - _INV_SQRT_2PI * hw.exp(-0.5 * ax * ax) * poly
+    return hw.mux(x < 0.0, 1.0 - w, w)
+
+
+class BlackScholes(Benchmark):
+    name = "blackscholes"
+    description = "Black-Scholes-Merton option pricing"
+
+    def default_dataset(self) -> Dataset:
+        return {"n": 9_995_328}
+
+    def small_dataset(self) -> Dataset:
+        return {"n": 192}
+
+    def param_space(self, dataset: Dataset) -> ParamSpace:
+        n = dataset["n"]
+        space = ParamSpace()
+        space.int_param(
+            "tile", [d for d in divisors(n) if 64 <= d <= MAX_TILE_WORDS // 8]
+        )
+        space.int_param("par", [1, 2, 4, 6, 8, 12, 16])
+        space.int_param("par_mem", [1, 4, 16, 48])
+        space.bool_param("metapipe")
+        space.constrain(lambda p: p["tile"] % p["par"] == 0)
+        return space
+
+    def default_params(self, dataset: Dataset) -> Params:
+        tile = max(d for d in divisors(dataset["n"]) if d <= 4100)
+        return {
+            "tile": tile,
+            "par": max(p for p in (1, 2, 4, 6, 8) if tile % p == 0),
+            "par_mem": 16,
+            "metapipe": True,
+        }
+
+    def build(
+        self,
+        dataset: Dataset,
+        tile: int,
+        par: int,
+        par_mem: int,
+        metapipe: bool,
+    ) -> Design:
+        n = dataset["n"]
+        with Design("blackscholes") as design:
+            spot = hw.offchip("spot", Float32, n)
+            strike = hw.offchip("strike", Float32, n)
+            rate = hw.offchip("rate", Float32, n)
+            vol = hw.offchip("vol", Float32, n)
+            time = hw.offchip("time", Float32, n)
+            call = hw.offchip("call", Float32, n)
+            put = hw.offchip("put", Float32, n)
+            with hw.sequential("top"):
+                with hw.loop(
+                    "tiles", [(n, tile)], metapipe_=metapipe
+                ) as tiles:
+                    (i,) = tiles.iters
+                    bufs = {
+                        name: hw.bram(f"{name}T", Float32, tile)
+                        for name in ("spot", "strike", "rate", "vol", "time")
+                    }
+                    callT = hw.bram("callT", Float32, tile)
+                    putT = hw.bram("putT", Float32, tile)
+                    arrays = {
+                        "spot": spot, "strike": strike, "rate": rate,
+                        "vol": vol, "time": time,
+                    }
+                    with hw.parallel():
+                        for name, arr in arrays.items():
+                            hw.tile_load(
+                                arr, bufs[name], (i,), (tile,), par=par_mem
+                            )
+                    with hw.pipe("price", [(tile, 1)], par=par) as price:
+                        (j,) = price.iters
+                        s = bufs["spot"][j]
+                        k = bufs["strike"][j]
+                        r = bufs["rate"][j]
+                        v = bufs["vol"][j]
+                        t = bufs["time"][j]
+                        sqrt_t = hw.sqrt(t)
+                        vol_sqrt_t = v * sqrt_t
+                        d1 = (hw.log(s / k) + (r + 0.5 * v * v) * t) / vol_sqrt_t
+                        d2 = d1 - vol_sqrt_t
+                        n1 = _cndf(d1)
+                        n2 = _cndf(d2)
+                        disc = k * hw.exp(-(r * t))
+                        callT[j] = s * n1 - disc * n2
+                        putT[j] = disc * (1.0 - n2) - s * (1.0 - n1)
+                    with hw.parallel():
+                        hw.tile_store(call, callT, (i,), (tile,), par=par_mem)
+                        hw.tile_store(put, putT, (i,), (tile,), par=par_mem)
+        return design
+
+    def generate_inputs(self, dataset: Dataset, rng: np.random.Generator) -> Inputs:
+        n = dataset["n"]
+        return {
+            "spot": rng.uniform(20.0, 120.0, size=n),
+            "strike": rng.uniform(20.0, 120.0, size=n),
+            "rate": rng.uniform(0.01, 0.08, size=n),
+            "vol": rng.uniform(0.1, 0.6, size=n),
+            "time": rng.uniform(0.1, 2.0, size=n),
+        }
+
+    def reference(self, inputs: Inputs, dataset: Dataset) -> Dict[str, np.ndarray]:
+        call, put = kernels.blackscholes(
+            inputs["spot"],
+            inputs["strike"],
+            inputs["rate"],
+            inputs["vol"],
+            inputs["time"],
+        )
+        return {"call": call, "put": put}
+
+    def check_outputs(self, outputs, expected) -> bool:
+        return bool(
+            np.allclose(outputs["call"], expected["call"], rtol=1e-7)
+            and np.allclose(outputs["put"], expected["put"], rtol=1e-7)
+        )
+
+    def flops(self, dataset: Dataset) -> float:
+        return 60.0 * dataset["n"]  # incl. polynomial CNDF expansion
+
+    def cpu_time(self, dataset: Dataset, cpu: CPUModel = XEON_E5_2630) -> float:
+        """Compute-bound (the paper cites PARSEC's characterization)."""
+        n = dataset["n"]
+        t_compute = cpu.scalar_time(n * CPU_CYCLES_PER_OPTION)
+        t_memory = cpu.memory_time(20.0 * n, 8.0 * n)
+        return max(t_compute, t_memory) + cpu.threading_overhead()
+
+
+register(BlackScholes())

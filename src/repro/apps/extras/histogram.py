@@ -1,0 +1,99 @@
+"""Histogram — an extension app exercising the groupBy pattern.
+
+The paper lists groupBy among the parallel patterns DHDL is generated
+from, but none of the Table II benchmarks uses it. This app bins a value
+stream into a fixed number of buckets with a scatter-accumulate table —
+the lowering the paper describes for groupBy-reduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...cpu.model import XEON_E5_2630, CPUModel
+from ...ir import Design, Float32, Index
+from ...ir import builder as hw
+from ...params import ParamSpace, divisors
+from ..registry import MAX_TILE_WORDS, Benchmark, Dataset, Inputs, Params
+
+VALUE_LO = 0.0
+VALUE_HI = 1.0
+
+
+class Histogram(Benchmark):
+    name = "histogram"
+    description = "Fixed-range histogram (groupBy-reduce pattern)"
+
+    def default_dataset(self) -> Dataset:
+        return {"n": 16_000_000, "bins": 64}
+
+    def small_dataset(self) -> Dataset:
+        return {"n": 256, "bins": 8}
+
+    def param_space(self, dataset: Dataset) -> ParamSpace:
+        n = dataset["n"]
+        space = ParamSpace()
+        space.int_param(
+            "tile", [d for d in divisors(n) if 64 <= d <= MAX_TILE_WORDS]
+        )
+        space.int_param("par_mem", [1, 4, 16, 64])
+        space.bool_param("metapipe")
+        return space
+
+    def default_params(self, dataset: Dataset) -> Params:
+        tile = max(d for d in divisors(dataset["n"]) if d <= 8192)
+        return {"tile": tile, "par_mem": 16, "metapipe": True}
+
+    def build(
+        self, dataset: Dataset, tile: int, par_mem: int, metapipe: bool
+    ) -> Design:
+        n, bins = dataset["n"], dataset["bins"]
+        scale = bins / (VALUE_HI - VALUE_LO)
+        with Design("histogram") as design:
+            values = hw.offchip("values", Float32, n)
+            counts = hw.offchip("counts", Float32, bins)
+            with hw.sequential("top"):
+                histT = hw.bram("histT", Float32, bins)
+                with hw.loop(
+                    "tiles", [(n, tile)], metapipe_=metapipe
+                ) as tiles:
+                    (i,) = tiles.iters
+                    buf = hw.bram("buf", Float32, tile)
+                    hw.tile_load(values, buf, (i,), (tile,), par=par_mem)
+                    with hw.pipe("binning", [(tile, 1)]) as binning:
+                        (j,) = binning.iters
+                        scaled = (buf[j] - VALUE_LO) * scale
+                        clamped = hw.minimum(
+                            hw.maximum(scaled, 0.0), float(bins - 1)
+                        )
+                        bucket = hw.floor(clamped)
+                        histT[bucket] = histT[bucket] + 1.0
+                hw.tile_store(counts, histT, (0,), (bins,), par=par_mem)
+        return design
+
+    def generate_inputs(self, dataset: Dataset, rng: np.random.Generator) -> Inputs:
+        return {
+            "values": rng.uniform(VALUE_LO, VALUE_HI, size=dataset["n"])
+        }
+
+    def reference(self, inputs: Inputs, dataset: Dataset) -> Dict[str, np.ndarray]:
+        bins = dataset["bins"]
+        counts, _ = np.histogram(
+            inputs["values"], bins=bins, range=(VALUE_LO, VALUE_HI)
+        )
+        return {"counts": counts.astype(float)}
+
+    def check_outputs(self, outputs, expected) -> bool:
+        return bool(np.allclose(outputs["counts"], expected["counts"]))
+
+    def cpu_time(self, dataset: Dataset, cpu: CPUModel = XEON_E5_2630) -> float:
+        """Scatter increments serialize on cache lines across threads."""
+        n = dataset["n"]
+        return cpu.roofline(
+            flops=3.0 * n,
+            bytes_read=4.0 * n,
+            compute_efficiency=0.08,
+            mem_efficiency=0.80,
+        )

@@ -1,0 +1,125 @@
+"""k-nearest-neighbors — an extension app exercising the priority queue.
+
+Streams a reference point set, computes each candidate's distance to a
+query in a reduce pipe, and keeps the k smallest distances in the hardware
+sorting queue (paper Table I's PriorityQueue, unused by the Table II
+benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ...cpu.model import XEON_E5_2630, CPUModel
+from ...ir import Design, Float32
+from ...ir import builder as hw
+from ...params import ParamSpace, divisors
+from ..registry import MAX_TILE_WORDS, Benchmark, Dataset, Inputs, Params
+
+
+class KNN(Benchmark):
+    name = "knn"
+    description = "k-nearest-neighbor distances (priority queue)"
+
+    def default_dataset(self) -> Dataset:
+        return {"points": 1_000_000, "dim": 64, "k": 16}
+
+    def small_dataset(self) -> Dataset:
+        return {"points": 48, "dim": 8, "k": 4}
+
+    def param_space(self, dataset: Dataset) -> ParamSpace:
+        points, dim = dataset["points"], dataset["dim"]
+        space = ParamSpace()
+        tiles = [
+            d for d in divisors(points)
+            if 8 <= d and d * dim <= MAX_TILE_WORDS
+        ]
+        space.int_param("tile", tiles)
+        space.int_param(
+            "par_dist", [p for p in (1, 2, 4, 8, 16, 32) if dim % p == 0]
+        )
+        space.int_param("par_mem", [1, 4, 16, 48])
+        space.bool_param("metapipe")
+        return space
+
+    def default_params(self, dataset: Dataset) -> Params:
+        dim = dataset["dim"]
+        tiles = [
+            d for d in divisors(dataset["points"])
+            if 8 <= d and d * dim <= MAX_TILE_WORDS
+        ]
+        return {
+            "tile": max(t for t in tiles if t <= 512),
+            "par_dist": max(p for p in (1, 2, 4, 8) if dim % p == 0),
+            "par_mem": 16,
+            "metapipe": True,
+        }
+
+    def build(
+        self,
+        dataset: Dataset,
+        tile: int,
+        par_dist: int,
+        par_mem: int,
+        metapipe: bool,
+    ) -> Design:
+        points, dim, k = dataset["points"], dataset["dim"], dataset["k"]
+        with Design("knn") as design:
+            refs = hw.offchip("refs", Float32, points, dim)
+            query = hw.offchip("query", Float32, dim)
+            nearest = hw.offchip("nearest", Float32, k)
+            with hw.sequential("top"):
+                qT = hw.bram("qT", Float32, dim)
+                hw.tile_load(query, qT, (0,), (dim,), par=par_mem)
+                best = hw.pqueue("best", Float32, k, ascending=True)
+                with hw.loop(
+                    "tiles", [(points, tile)], metapipe_=metapipe
+                ) as tiles:
+                    (t,) = tiles.iters
+                    xT = hw.bram("xT", Float32, tile, dim)
+                    hw.tile_load(refs, xT, (t, 0), (tile, dim), par=par_mem)
+                    with hw.sequential("scan", [(tile, 1)]) as scan:
+                        (p,) = scan.iters
+                        dist = hw.reg("dist", Float32)
+                        with hw.pipe(
+                            "dsq", [(dim, 1)], par=par_dist,
+                            accum=("add", dist),
+                        ) as dsq:
+                            (d,) = dsq.iters
+                            diff = xT[p, d] - qT[d]
+                            dsq.returns(diff * diff)
+                        with hw.pipe("push"):
+                            best.enqueue(dist.read())
+                outT = hw.bram("outT", Float32, k)
+                with hw.pipe("drain", [(k, 1)]) as drain:
+                    (j,) = drain.iters
+                    outT[j] = best.peek(j)
+                hw.tile_store(nearest, outT, (0,), (k,), par=par_mem)
+        return design
+
+    def generate_inputs(self, dataset: Dataset, rng: np.random.Generator) -> Inputs:
+        return {
+            "refs": rng.normal(size=(dataset["points"], dataset["dim"])),
+            "query": rng.normal(size=dataset["dim"]),
+        }
+
+    def reference(self, inputs: Inputs, dataset: Dataset) -> Dict[str, np.ndarray]:
+        d2 = ((inputs["refs"] - inputs["query"][None, :]) ** 2).sum(axis=1)
+        return {"nearest": np.sort(d2)[: dataset["k"]]}
+
+    def check_outputs(self, outputs, expected) -> bool:
+        return bool(np.allclose(outputs["nearest"], expected["nearest"]))
+
+    def flops(self, dataset: Dataset) -> float:
+        return 3.0 * dataset["points"] * dataset["dim"]
+
+    def cpu_time(self, dataset: Dataset, cpu: CPUModel = XEON_E5_2630) -> float:
+        points, dim = dataset["points"], dataset["dim"]
+        return cpu.roofline(
+            flops=3.0 * points * dim,
+            bytes_read=4.0 * points * dim,
+            compute_efficiency=0.30,
+            mem_efficiency=0.85,
+        )

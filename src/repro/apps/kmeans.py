@@ -1,0 +1,192 @@
+"""k-means clustering benchmark (paper Table II: 960,000 points, k=8, d=384).
+
+One assignment + accumulation iteration: for each point, compute the
+distance to every centroid (k parallel reduce pipes — the K x D operations
+the paper says must run in parallel to keep up with memory bandwidth),
+select the nearest with a multiplexer chain, and scatter-accumulate the
+point into that centroid's running sum. ALM-bound: the FPGA cannot fit
+K x D floating-point lanes, which is why the speedup hovers near 1x.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..cpu import kernels
+from ..cpu.model import XEON_E5_2630, CPUModel
+from ..ir import Design, Float32, Index
+from ..ir import builder as hw
+from ..params import ParamSpace, divisors
+from .registry import (
+    MAX_TILE_WORDS,
+    Benchmark,
+    Dataset,
+    Inputs,
+    Params,
+    register,
+)
+
+
+class KMeans(Benchmark):
+    name = "kmeans"
+    description = "k-means clustering (one assignment/update iteration)"
+
+    def default_dataset(self) -> Dataset:
+        return {"points": 960_000, "k": 8, "dim": 384}
+
+    def small_dataset(self) -> Dataset:
+        return {"points": 32, "k": 4, "dim": 8}
+
+    def param_space(self, dataset: Dataset) -> ParamSpace:
+        points, dim = dataset["points"], dataset["dim"]
+        space = ParamSpace()
+        tiles = [
+            d for d in divisors(points) if 8 <= d and d * dim <= MAX_TILE_WORDS
+        ]
+        space.int_param("tile_points", tiles)
+        space.int_param(
+            "par_dist", [p for p in (1, 2, 4, 8, 16, 32, 48, 96) if dim % p == 0]
+        )
+        space.int_param(
+            "par_acc", [p for p in (1, 2, 4, 8, 16) if dim % p == 0]
+        )
+        space.int_param("par_pt", [1, 2, 4])
+        space.int_param("par_mem", [1, 4, 16, 48])
+        space.bool_param("mp_tiles")
+        space.bool_param("mp_point")
+        space.constrain(lambda p: p["tile_points"] % p["par_pt"] == 0)
+        return space
+
+    def default_params(self, dataset: Dataset) -> Params:
+        dim = dataset["dim"]
+        tiles = [
+            d
+            for d in divisors(dataset["points"])
+            if d * dim <= MAX_TILE_WORDS and d >= 8
+        ]
+        return {
+            "tile_points": max(t for t in tiles if t <= 120),
+            "par_dist": max(p for p in (1, 2, 4, 8) if dim % p == 0),
+            "par_acc": max(p for p in (1, 2, 4, 8) if dim % p == 0),
+            "par_pt": 1,
+            "par_mem": 16,
+            "mp_tiles": True,
+            "mp_point": True,
+        }
+
+    def build(
+        self,
+        dataset: Dataset,
+        tile_points: int,
+        par_dist: int,
+        par_acc: int,
+        par_pt: int,
+        par_mem: int,
+        mp_tiles: bool,
+        mp_point: bool,
+    ) -> Design:
+        points, k, dim = dataset["points"], dataset["k"], dataset["dim"]
+        with Design("kmeans") as design:
+            x = hw.offchip("x", Float32, points, dim)
+            cents = hw.offchip("centroids", Float32, k, dim)
+            newcents = hw.offchip("newcents", Float32, k, dim)
+            with hw.sequential("top"):
+                centT = hw.bram("centT", Float32, k, dim)
+                hw.tile_load(cents, centT, (0, 0), (k, dim), par=par_mem)
+                sumsT = hw.bram("sumsT", Float32, k, dim)
+                cntT = hw.bram("cntT", Float32, k)
+                with hw.loop(
+                    "tiles", [(points, tile_points)], metapipe_=mp_tiles
+                ) as tiles:
+                    (t,) = tiles.iters
+                    xT = hw.bram("xT", Float32, tile_points, dim)
+                    hw.tile_load(
+                        x, xT, (t, 0), (tile_points, dim), par=par_mem
+                    )
+                    with hw.loop(
+                        "point", [(tile_points, 1)], metapipe_=mp_point,
+                        par=par_pt,
+                    ) as point:
+                        (pp,) = point.iters
+                        # K concurrent distance reductions (K x D in flight).
+                        dists = [
+                            hw.reg(f"d{c}", Float32) for c in range(k)
+                        ]
+                        with hw.parallel():
+                            for c in range(k):
+                                with hw.pipe(
+                                    f"dist{c}",
+                                    [(dim, 1)],
+                                    par=par_dist,
+                                    accum=("add", dists[c]),
+                                ) as dp:
+                                    (dd,) = dp.iters
+                                    diff = xT[pp, dd] - centT[c, dd]
+                                    dp.returns(diff * diff)
+                        minI = hw.reg("minI", Index)
+                        with hw.pipe("argmin") as am:
+                            best_d = dists[0].read()
+                            best_i = hw.const(0, Index)
+                            for c in range(1, k):
+                                cand = dists[c].read()
+                                closer = cand < best_d
+                                best_d = hw.mux(closer, cand, best_d)
+                                best_i = hw.mux(
+                                    closer, hw.const(c, Index), best_i
+                                )
+                            minI.write(best_i)
+                        with hw.pipe(
+                            "scatter", [(dim, 1)], par=par_acc
+                        ) as sc:
+                            (dd2,) = sc.iters
+                            mi = minI.read()
+                            sumsT[mi, dd2] = sumsT[mi, dd2] + xT[pp, dd2]
+                        with hw.pipe("count"):
+                            mi2 = minI.read()
+                            cntT[mi2] = cntT[mi2] + 1.0
+                outT = hw.bram("outT", Float32, k, dim)
+                with hw.pipe(
+                    "divide", [(k, 1), (dim, 1)], par=par_acc
+                ) as dv:
+                    ck, cd = dv.iters
+                    denom = hw.maximum(cntT[ck], 1.0)
+                    outT[ck, cd] = sumsT[ck, cd] / denom
+                hw.tile_store(newcents, outT, (0, 0), (k, dim), par=par_mem)
+        return design
+
+    def generate_inputs(self, dataset: Dataset, rng: np.random.Generator) -> Inputs:
+        points, k, dim = dataset["points"], dataset["k"], dataset["dim"]
+        return {
+            "x": rng.normal(size=(points, dim)),
+            "centroids": rng.normal(size=(k, dim)),
+        }
+
+    def reference(self, inputs: Inputs, dataset: Dataset) -> Dict[str, np.ndarray]:
+        step = kernels.kmeans_step(inputs["x"], inputs["centroids"])
+        return {"newcents": step["centroids"]}
+
+    def check_outputs(self, outputs, expected) -> bool:
+        return bool(
+            np.allclose(outputs["newcents"], expected["newcents"], rtol=1e-8)
+        )
+
+    def flops(self, dataset: Dataset) -> float:
+        points, k, dim = dataset["points"], dataset["k"], dataset["dim"]
+        return 3.0 * points * k * dim
+
+    def cpu_time(self, dataset: Dataset, cpu: CPUModel = XEON_E5_2630) -> float:
+        """Distance evaluation vectorizes, but the argmin select and the
+        scatter-accumulate are scalar and break the SIMD pipeline, keeping
+        the OptiML-generated kernel well below peak."""
+        points, dim = dataset["points"], dataset["dim"]
+        return cpu.roofline(
+            flops=self.flops(dataset),
+            bytes_read=4.0 * points * dim,
+            compute_efficiency=0.14,
+            mem_efficiency=0.85,
+        )
+
+
+register(KMeans())

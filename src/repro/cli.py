@@ -1,0 +1,294 @@
+"""Command-line interface: the framework's front door.
+
+Subcommands mirror the paper's flow:
+
+* ``repro list`` — Table II benchmark inventory;
+* ``repro estimate BENCH [--set k=v ...]`` — estimate one design point;
+* ``repro explore BENCH --points N`` — design space exploration + Pareto;
+* ``repro speedup BENCH`` — best design vs the modeled CPU (Figure 6);
+* ``repro codegen BENCH -o FILE`` — emit MaxJ for a design point;
+* ``repro power BENCH`` — power/energy estimate (extension);
+* ``repro analyze BENCH`` — bottleneck + roofline diagnosis (extension);
+* ``repro report -o FILE`` — consolidated evaluation report.
+
+Invoke as ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .apps import all_benchmarks, get_benchmark
+from .codegen import generate_maxj
+from .dse import explore
+from .estimation import Estimator, default_estimator
+from .estimation.power import estimate_power
+from .sim import simulate
+
+
+def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--set expects key=value, got {pair!r}")
+        key, value = pair.split("=", 1)
+        if value.lower() in ("true", "false"):
+            out[key] = value.lower() == "true"
+        else:
+            out[key] = int(value)
+    return out
+
+
+def _resolve_params(bench, overrides: Dict[str, object]) -> Dict[str, object]:
+    dataset = bench.default_dataset()
+    params = bench.default_params(dataset)
+    unknown = set(overrides) - set(params)
+    if unknown:
+        raise SystemExit(
+            f"unknown parameters for {bench.name}: {sorted(unknown)} "
+            f"(valid: {sorted(params)})"
+        )
+    params.update(overrides)
+    return params
+
+
+def cmd_list(args, out) -> int:
+    """``repro list``: print the Table II benchmark inventory."""
+    print(f"{'name':14s} {'description':45s} dataset", file=out)
+    for bench in all_benchmarks():
+        ds = ", ".join(f"{k}={v:,}" for k, v in bench.default_dataset().items())
+        print(f"{bench.name:14s} {bench.description:45s} {ds}", file=out)
+    return 0
+
+
+def cmd_estimate(args, out, estimator: Optional[Estimator] = None) -> int:
+    """``repro estimate``: estimate one design point."""
+    bench = get_benchmark(args.benchmark)
+    params = _resolve_params(bench, _parse_overrides(args.set or []))
+    design = bench.build(bench.default_dataset(), **params)
+    estimator = estimator or default_estimator()
+    est = estimator.estimate(design)
+    util = est.utilization()
+    print(f"design point: {params}", file=out)
+    print(f"cycles : {est.cycles:,.0f}  ({est.seconds * 1e3:.3f} ms)", file=out)
+    print(f"ALMs   : {est.alms:,}  ({100 * util['alms']:.1f}%)", file=out)
+    print(f"DSPs   : {est.dsps:,}  ({100 * util['dsps']:.1f}%)", file=out)
+    print(f"BRAMs  : {est.brams:,}  ({100 * util['brams']:.1f}%)", file=out)
+    print(f"fits   : {est.fits()}", file=out)
+    return 0
+
+
+def cmd_explore(args, out, estimator: Optional[Estimator] = None) -> int:
+    """``repro explore``: sample the design space and print the Pareto front."""
+    bench = get_benchmark(args.benchmark)
+    estimator = estimator or default_estimator()
+    result = explore(bench, estimator, max_points=args.points, seed=args.seed)
+    print(
+        f"explored {len(result.points)} points "
+        f"({1e3 * result.seconds_per_point:.2f} ms/point); "
+        f"{len(result.valid_points)} fit; "
+        f"{len(result.pareto)} Pareto-optimal",
+        file=out,
+    )
+    print(f"{'cycles':>14s} {'ALMs':>9s} {'BRAMs':>6s}  params", file=out)
+    for point in result.pareto_sample(args.show):
+        print(
+            f"{point.cycles:14,.0f} {point.estimate.alms:9,} "
+            f"{point.estimate.brams:6,}  {point.params}",
+            file=out,
+        )
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            names = list(result.points[0].params) if result.points else []
+            writer.writerow(["cycles", "alms", "dsps", "brams", "valid"] + names)
+            for p in result.points:
+                writer.writerow(
+                    [p.cycles, p.estimate.alms, p.estimate.dsps,
+                     p.estimate.brams, int(p.valid)]
+                    + [p.params[k] for k in names]
+                )
+        print(f"wrote {len(result.points)} points to {args.csv}", file=out)
+    return 0
+
+
+def cmd_speedup(args, out, estimator: Optional[Estimator] = None) -> int:
+    """``repro speedup``: best design vs the modeled CPU baseline."""
+    bench = get_benchmark(args.benchmark)
+    estimator = estimator or default_estimator()
+    result = explore(bench, estimator, max_points=args.points, seed=args.seed)
+    best = result.best
+    if best is None:
+        print("no valid design found", file=out)
+        return 1
+    design = bench.build(result.dataset, **best.params)
+    sim = simulate(design)
+    cpu_s = bench.cpu_time(result.dataset)
+    print(f"best design: {best.params}", file=out)
+    print(f"FPGA (simulated): {sim.seconds * 1e3:.2f} ms", file=out)
+    print(f"CPU (modeled)   : {cpu_s * 1e3:.2f} ms", file=out)
+    print(f"speedup         : {cpu_s / sim.seconds:.2f}x", file=out)
+    return 0
+
+
+def cmd_codegen(args, out) -> int:
+    """``repro codegen``: emit MaxJ for one design point."""
+    bench = get_benchmark(args.benchmark)
+    params = _resolve_params(bench, _parse_overrides(args.set or []))
+    design = bench.build(bench.default_dataset(), **params)
+    source = generate_maxj(design)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(source)
+        print(f"wrote {len(source.splitlines())} lines to {args.output}",
+              file=out)
+    else:
+        print(source, file=out)
+    return 0
+
+
+def cmd_power(args, out, estimator: Optional[Estimator] = None) -> int:
+    """``repro power``: power/energy estimate (extension)."""
+    bench = get_benchmark(args.benchmark)
+    params = _resolve_params(bench, _parse_overrides(args.set or []))
+    design = bench.build(bench.default_dataset(), **params)
+    estimator = estimator or default_estimator()
+    area = estimator.estimate_area(design)
+    cycles = estimator.estimate_cycles(design)
+    power = estimate_power(design, area, cycles, estimator.board)
+    print(f"design point : {params}", file=out)
+    print(f"total power  : {power.total_w:.2f} W "
+          f"(static {power.static_w:.2f}, dynamic {power.dynamic_w:.2f}, "
+          f"DRAM {power.dram_w:.2f})", file=out)
+    print(f"activity     : {power.activity:.2f}", file=out)
+    print(f"energy/run   : {power.energy_j:.4f} J "
+          f"({power.runtime_s * 1e3:.2f} ms)", file=out)
+    return 0
+
+
+def cmd_analyze(args, out, estimator: Optional[Estimator] = None) -> int:
+    """``repro analyze``: bottleneck + roofline diagnosis (extension)."""
+    from .analysis import analyze, diagnose
+    from .sim import simulate as _simulate
+
+    bench = get_benchmark(args.benchmark)
+    params = _resolve_params(bench, _parse_overrides(args.set or []))
+    dataset = bench.default_dataset()
+    design = bench.build(dataset, **params)
+    estimator = estimator or default_estimator()
+    diag = diagnose(design, estimator)
+    print(diag.summary(), file=out)
+    flops = bench.flops(dataset)
+    if flops > 0:
+        runtime = _simulate(design).seconds
+        point = analyze(design, flops, runtime, estimator.board)
+        print(
+            f"roofline: intensity {point.flops_per_byte:.2f} flop/byte; "
+            f"datapath peak {point.peak_flops / 1e9:.1f} GFLOP/s; "
+            f"bandwidth roof {point.bandwidth_roof_flops / 1e9:.1f} GFLOP/s; "
+            f"achieved {point.achieved_flops / 1e9:.2f} GFLOP/s "
+            f"({100 * point.efficiency:.0f}% of attainable)",
+            file=out,
+        )
+    return 0
+
+
+def cmd_report(args, out, estimator: Optional[Estimator] = None) -> int:
+    """``repro report``: consolidated evaluation report."""
+    from .report import build_report
+
+    estimator = estimator or default_estimator()
+    text = build_report(estimator, dse_points=args.points)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+        print(f"wrote report to {args.output}", file=out)
+    else:
+        print(text, file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DHDL reproduction: estimate, explore, and generate "
+        "FPGA accelerator designs (ISCA 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the Table II benchmarks")
+
+    def add_bench(p):
+        p.add_argument("benchmark", help="benchmark name (see 'repro list')")
+
+    p = sub.add_parser("estimate", help="estimate one design point")
+    add_bench(p)
+    p.add_argument("--set", nargs="*", metavar="K=V",
+                   help="override design parameters")
+
+    p = sub.add_parser("explore", help="design space exploration")
+    add_bench(p)
+    p.add_argument("--points", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--show", type=int, default=8,
+                   help="Pareto points to print")
+    p.add_argument("--csv", help="dump all points to a CSV file")
+
+    p = sub.add_parser("speedup", help="best design vs the CPU baseline")
+    add_bench(p)
+    p.add_argument("--points", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("codegen", help="emit MaxJ for a design point")
+    add_bench(p)
+    p.add_argument("--set", nargs="*", metavar="K=V")
+    p.add_argument("-o", "--output", help="output file (default: stdout)")
+
+    p = sub.add_parser("power", help="power/energy estimate (extension)")
+    add_bench(p)
+    p.add_argument("--set", nargs="*", metavar="K=V")
+
+    p = sub.add_parser(
+        "analyze", help="bottleneck + roofline diagnosis (extension)"
+    )
+    add_bench(p)
+    p.add_argument("--set", nargs="*", metavar="K=V")
+
+    p = sub.add_parser("report", help="consolidated evaluation report")
+    p.add_argument("--points", type=int, default=400,
+                   help="DSE budget per benchmark")
+    p.add_argument("-o", "--output", help="output file (default: stdout)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None,
+         estimator: Optional[Estimator] = None) -> int:
+    """CLI entry point; ``out`` and ``estimator`` are injectable for tests."""
+    args = build_parser().parse_args(argv)
+    out = out or sys.stdout
+    if args.command == "list":
+        return cmd_list(args, out)
+    if args.command == "estimate":
+        return cmd_estimate(args, out, estimator)
+    if args.command == "explore":
+        return cmd_explore(args, out, estimator)
+    if args.command == "speedup":
+        return cmd_speedup(args, out, estimator)
+    if args.command == "codegen":
+        return cmd_codegen(args, out)
+    if args.command == "power":
+        return cmd_power(args, out, estimator)
+    if args.command == "analyze":
+        return cmd_analyze(args, out, estimator)
+    if args.command == "report":
+        return cmd_report(args, out, estimator)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

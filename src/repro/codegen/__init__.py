@@ -1,0 +1,6 @@
+"""Hardware generation backends (paper Figure 1, step 5; Figure 2 form)."""
+
+from .hlsc import HLSCGenerator, generate_hlsc
+from .maxj import MaxJGenerator, generate_maxj
+
+__all__ = ["HLSCGenerator", "MaxJGenerator", "generate_hlsc", "generate_maxj"]

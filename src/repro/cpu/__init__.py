@@ -1,0 +1,6 @@
+"""CPU baseline substrate: reference kernels + analytical performance model."""
+
+from . import kernels
+from .model import XEON_E5_2630, CPUModel
+
+__all__ = ["CPUModel", "XEON_E5_2630", "kernels"]

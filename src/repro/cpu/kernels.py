@@ -1,0 +1,117 @@
+"""Reference CPU implementations of the seven evaluation benchmarks.
+
+These numpy kernels are the functional golden models: every DHDL design is
+validated against them (tests, examples), mirroring the paper's use of
+optimized CPU implementations as the correctness and performance baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+
+def dotproduct(a: np.ndarray, b: np.ndarray) -> float:
+    """Vector dot product."""
+    return float(np.dot(a, b))
+
+
+def outerprod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Vector outer product."""
+    return np.outer(a, b)
+
+
+def gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense matrix multiplication."""
+    return a @ b
+
+
+def tpchq6(
+    quantity: np.ndarray,
+    price: np.ndarray,
+    discount: np.ndarray,
+    shipdate: np.ndarray,
+    date_lo: int = 19940101,
+    date_hi: int = 19950101,
+    disc_lo: float = 0.05,
+    disc_hi: float = 0.07,
+    qty_hi: float = 24.0,
+) -> float:
+    """TPC-H Query 6: filtered sum of price * discount."""
+    mask = (
+        (shipdate >= date_lo)
+        & (shipdate < date_hi)
+        & (discount >= disc_lo)
+        & (discount <= disc_hi)
+        & (quantity < qty_hi)
+    )
+    return float(np.sum(price[mask] * discount[mask]))
+
+
+def _cndf(x: np.ndarray) -> np.ndarray:
+    """Cumulative normal distribution (Abramowitz-Stegun polynomial)."""
+    a1, a2, a3, a4, a5 = (
+        0.319381530,
+        -0.356563782,
+        1.781477937,
+        -1.821255978,
+        1.330274429,
+    )
+    inv_sqrt_2pi = 0.3989422804014327
+    ax = np.abs(x)
+    k = 1.0 / (1.0 + 0.2316419 * ax)
+    poly = k * (a1 + k * (a2 + k * (a3 + k * (a4 + k * a5))))
+    w = 1.0 - inv_sqrt_2pi * np.exp(-0.5 * ax * ax) * poly
+    return np.where(x < 0.0, 1.0 - w, w)
+
+
+def blackscholes(
+    spot: np.ndarray,
+    strike: np.ndarray,
+    rate: np.ndarray,
+    volatility: np.ndarray,
+    time: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Black-Scholes-Merton European option pricing (call, put)."""
+    sqrt_t = np.sqrt(time)
+    d1 = (np.log(spot / strike) + (rate + 0.5 * volatility**2) * time) / (
+        volatility * sqrt_t
+    )
+    d2 = d1 - volatility * sqrt_t
+    discount = strike * np.exp(-rate * time)
+    call = spot * _cndf(d1) - discount * _cndf(d2)
+    put = discount * _cndf(-d2) - spot * _cndf(-d1)
+    return call, put
+
+
+def gda(
+    x: np.ndarray, y: np.ndarray, mu0: np.ndarray, mu1: np.ndarray
+) -> np.ndarray:
+    """Gaussian discriminant analysis scatter matrix (paper Figure 2)."""
+    mu = np.where(y[:, None].astype(bool), mu1[None, :], mu0[None, :])
+    sub = x - mu
+    return sub.T @ sub
+
+
+def kmeans_step(
+    points: np.ndarray, centroids: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """One k-means iteration: assign points, return sums/counts/new centroids."""
+    # distances: (n, k)
+    d = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+    assign = np.argmin(d, axis=1)
+    k, dim = centroids.shape
+    sums = np.zeros((k, dim))
+    counts = np.zeros(k)
+    for c in range(k):
+        mask = assign == c
+        counts[c] = mask.sum()
+        sums[c] = points[mask].sum(axis=0)
+    safe = np.maximum(counts, 1.0)
+    return {
+        "assign": assign,
+        "sums": sums,
+        "counts": counts,
+        "centroids": sums / safe[:, None],
+    }

@@ -1,0 +1,23 @@
+"""Design space exploration (paper Section IV-C, Figure 5)."""
+
+from .explorer import (
+    DEFAULT_MAX_POINTS,
+    DesignPoint,
+    ExplorationResult,
+    explore,
+)
+from .pareto import dominates, is_pareto_optimal, pareto_front, pareto_front_nd
+from .search import SearchResult, local_search
+
+__all__ = [
+    "DEFAULT_MAX_POINTS",
+    "DesignPoint",
+    "ExplorationResult",
+    "dominates",
+    "explore",
+    "is_pareto_optimal",
+    "pareto_front",
+    "pareto_front_nd",
+    "SearchResult",
+    "local_search",
+]

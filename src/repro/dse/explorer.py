@@ -1,0 +1,118 @@
+"""Design space exploration (paper Section IV-C).
+
+Randomly samples up to a budget of legal points from a benchmark's pruned
+parameter space (divisor tile sizes and parallelization factors, buffer
+capacity caps), estimates every point with the fast estimator, discards
+designs that do not fit the device, and extracts the Pareto frontier along
+execution cycles x ALM usage.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..apps.registry import Benchmark, Dataset
+from ..estimation.estimator import Estimate, Estimator
+from ..ir.node import IRError
+from .pareto import pareto_front
+
+DEFAULT_MAX_POINTS = 75_000
+
+
+@dataclass
+class DesignPoint:
+    """One explored design point: parameters plus its estimate."""
+
+    params: Dict[str, object]
+    estimate: Estimate
+
+    @property
+    def cycles(self) -> float:
+        return self.estimate.cycles
+
+    @property
+    def alms(self) -> int:
+        return self.estimate.alms
+
+    @property
+    def valid(self) -> bool:
+        """Fits on the target device (invalid points shown red in Fig. 5)."""
+        return self.estimate.fits()
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of exploring one benchmark's design space."""
+
+    benchmark: str
+    dataset: Dataset
+    points: List[DesignPoint] = field(default_factory=list)
+    space_cardinality: int = 0
+    legal_sampled: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def valid_points(self) -> List[DesignPoint]:
+        return [p for p in self.points if p.valid]
+
+    @property
+    def pareto(self) -> List[DesignPoint]:
+        """Pareto-optimal valid designs: minimize (cycles, ALMs)."""
+        return pareto_front(
+            self.valid_points, key=lambda p: (p.cycles, float(p.alms))
+        )
+
+    @property
+    def best(self) -> Optional[DesignPoint]:
+        """The fastest valid design."""
+        valid = self.valid_points
+        return min(valid, key=lambda p: p.cycles) if valid else None
+
+    @property
+    def seconds_per_point(self) -> float:
+        if not self.points:
+            return 0.0
+        return self.elapsed_seconds / len(self.points)
+
+    def pareto_sample(self, count: int) -> List[DesignPoint]:
+        """Evenly spaced selection of ``count`` Pareto points (Table III
+        evaluates five Pareto points per benchmark)."""
+        front = self.pareto
+        if len(front) <= count:
+            return front
+        step = (len(front) - 1) / (count - 1)
+        return [front[round(i * step)] for i in range(count)]
+
+
+def explore(
+    benchmark: Benchmark,
+    estimator: Estimator,
+    dataset: Optional[Dataset] = None,
+    max_points: int = DEFAULT_MAX_POINTS,
+    seed: int = 1,
+) -> ExplorationResult:
+    """Explore ``benchmark``'s design space with ``estimator``."""
+    dataset = dataset or benchmark.default_dataset()
+    space = benchmark.param_space(dataset)
+    rng = random.Random(seed)
+    sampled = space.sample(rng, max_points)
+
+    result = ExplorationResult(
+        benchmark=benchmark.name,
+        dataset=dataset,
+        space_cardinality=space.cardinality,
+        legal_sampled=len(sampled),
+    )
+    start = time.perf_counter()
+    for params in sampled:
+        try:
+            design = benchmark.build(dataset, **params)
+        except IRError:
+            continue  # point violates a structural rule not in the space
+        estimate = estimator.estimate(design)
+        result.points.append(DesignPoint(params, estimate))
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

@@ -1,0 +1,73 @@
+"""Pareto frontier extraction.
+
+The paper highlights Pareto-optimal designs along execution time and ALM
+utilization (Figure 5). This module provides a generic minimizing
+2-objective frontier plus dominance checks used in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+Objectives = Tuple[float, float]
+
+
+def pareto_front(
+    items: Sequence[T], key: Callable[[T], Objectives]
+) -> List[T]:
+    """Minimizing Pareto frontier of ``items`` under two objectives.
+
+    Sort by the first objective (ties broken by the second), then sweep,
+    keeping points that strictly improve the second objective. Runs in
+    O(n log n). Duplicate objective vectors keep one representative.
+    """
+    decorated = sorted(items, key=key)
+    front: List[T] = []
+    best_second = float("inf")
+    for item in decorated:
+        first, second = key(item)
+        if second < best_second:
+            front.append(item)
+            best_second = second
+    return front
+
+
+def pareto_front_nd(
+    items: Sequence[T], key: Callable[[T], Tuple[float, ...]]
+) -> List[T]:
+    """Minimizing Pareto frontier under any number of objectives.
+
+    Used by the power-aware exploration extension (runtime x area x power).
+    O(n^2) simple sweep — fronts here are small.
+    """
+    decorated = [(key(item), item) for item in items]
+    front: List[T] = []
+    for vec, item in decorated:
+        dominated = False
+        for other_vec, other in decorated:
+            if other is item:
+                continue
+            if all(o <= v for o, v in zip(other_vec, vec)) and any(
+                o < v for o, v in zip(other_vec, vec)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(item)
+    return front
+
+
+def dominates(a: Objectives, b: Objectives) -> bool:
+    """True if ``a`` Pareto-dominates ``b`` (minimization, strict in one)."""
+    return a[0] <= b[0] and a[1] <= b[1] and (a[0] < b[0] or a[1] < b[1])
+
+
+def is_pareto_optimal(
+    item: T, items: Sequence[T], key: Callable[[T], Objectives]
+) -> bool:
+    """True if no other item dominates ``item``."""
+    target = key(item)
+    return not any(
+        dominates(key(other), target) for other in items if other is not item
+    )

@@ -1,0 +1,38 @@
+"""Resource count container used by the area estimator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Counts:
+    """Estimated resource requirements (estimator-side mirror of an atom)."""
+
+    luts_packable: float = 0.0
+    luts_unpackable: float = 0.0
+    regs: float = 0.0
+    dsps: float = 0.0
+    brams: float = 0.0
+
+    @property
+    def luts(self) -> float:
+        return self.luts_packable + self.luts_unpackable
+
+    def add(self, other: "Counts") -> None:
+        """Accumulate another count vector into this one."""
+        self.luts_packable += other.luts_packable
+        self.luts_unpackable += other.luts_unpackable
+        self.regs += other.regs
+        self.dsps += other.dsps
+        self.brams += other.brams
+
+    def scaled(self, factor: float) -> "Counts":
+        """A copy with every resource scaled by ``factor``."""
+        return Counts(
+            self.luts_packable * factor,
+            self.luts_unpackable * factor,
+            self.regs * factor,
+            self.dsps * factor,
+            self.brams * factor,
+        )

@@ -1,0 +1,95 @@
+"""Estimator facade: one object answering "how big / how fast is this design".
+
+Bundles the characterized template models, the trained correction models,
+and the board description. Characterization and training happen once per
+process (or can be loaded from a saved model file) and are shared across
+all design estimates — exactly the paper's amortization argument.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..ir.graph import Design
+from ..target.board import MAIA, Board
+from .area import AreaEstimate, hybrid_area
+from .characterize import TemplateModels, characterize_templates
+from .cycles import CycleEstimate, estimate_cycles
+from .train import CorrectionModels, train_corrections
+
+
+@dataclass
+class Estimate:
+    """A complete design-point estimate: runtime and area."""
+
+    design_name: str
+    cycles: float
+    seconds: float
+    area: AreaEstimate
+    board: Board
+
+    @property
+    def alms(self) -> int:
+        return self.area.alms
+
+    @property
+    def dsps(self) -> int:
+        return self.area.dsps
+
+    @property
+    def brams(self) -> int:
+        return self.area.brams
+
+    def fits(self) -> bool:
+        """Whether the estimated design fits on the board's device."""
+        return self.area.fits(self.board.device)
+
+    def utilization(self) -> Dict[str, float]:
+        """Estimated utilization fraction per device resource class."""
+        return self.area.utilization(self.board.device)
+
+
+class Estimator:
+    """Fast design analysis: cycle counts plus hybrid area estimation."""
+
+    def __init__(
+        self,
+        board: Board = MAIA,
+        templates: Optional[TemplateModels] = None,
+        corrections: Optional[CorrectionModels] = None,
+        training_samples: int = 200,
+        seed: int = 7,
+    ) -> None:
+        self.board = board
+        self.templates = templates or characterize_templates(board.device)
+        self.corrections = corrections or train_corrections(
+            self.templates, board, n_samples=training_samples, seed=seed
+        )
+
+    def estimate_cycles(self, design: Design) -> CycleEstimate:
+        """Runtime estimate only (paper Section IV-B1)."""
+        return estimate_cycles(design, self.board)
+
+    def estimate_area(self, design: Design) -> AreaEstimate:
+        """Hybrid area estimate only (paper Section IV-B2)."""
+        return hybrid_area(design, self.templates, self.corrections, self.board)
+
+    def estimate(self, design: Design) -> Estimate:
+        """Complete design-point estimate: cycles plus area."""
+        cycles = self.estimate_cycles(design)
+        area = self.estimate_area(design)
+        return Estimate(
+            design_name=design.name,
+            cycles=cycles.total,
+            seconds=cycles.seconds,
+            area=area,
+            board=self.board,
+        )
+
+
+@functools.lru_cache(maxsize=4)
+def default_estimator(board: Board = MAIA, seed: int = 7) -> Estimator:
+    """Process-wide shared estimator (characterize + train once)."""
+    return Estimator(board, seed=seed)

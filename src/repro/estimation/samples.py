@@ -1,0 +1,116 @@
+"""Random design generation for training the correction networks.
+
+The paper trains its neural networks on "a common set of 200 design
+samples with varying levels of resource usage to give a representative
+sampling of the space" (Section IV-B2). These samples are synthetic loop
+nests — independent of the evaluation benchmarks — spanning small scalar
+pipelines to wide, deeply-nested designs, so the networks generalize to
+unseen applications.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..ir import builder as hw
+from ..ir.graph import Design
+from ..ir.node import Value
+from ..ir.types import Float32, Int32
+
+_BIN_OPS = ["add", "add", "mul", "mul", "sub", "div", "min", "max"]
+_UN_OPS = ["sqrt", "exp", "log", "abs"]
+_CMP_OPS = ["lt", "gt"]
+
+
+def generate_sample_design(seed: int) -> Design:
+    """Build one random, legal DHDL design instance."""
+    rng = random.Random(seed)
+    n = 2 ** rng.randint(12, 20)
+    tile = 2 ** rng.randint(5, 11)
+    tile = min(tile, n)
+    par_mem = 2 ** rng.randint(0, 4)
+    par_pipe = 2 ** rng.randint(0, min(5, tile.bit_length() - 1))
+    use_metapipe = rng.random() < 0.6
+    num_arrays = rng.randint(1, 3)
+    num_pipes = rng.randint(1, 3)
+    tp = Float32 if rng.random() < 0.75 else Int32
+
+    with Design(f"sample{seed}") as design:
+        arrays = [hw.offchip(f"in{k}", tp, n) for k in range(num_arrays)]
+        out_arr = hw.offchip("out", tp, n)
+        result = hw.arg_out("res", tp)
+        with hw.sequential("top"):
+            with hw.loop(
+                "outer",
+                [(n, tile)],
+                metapipe_=use_metapipe,
+                accum=("add", result),
+            ) as outer:
+                (i,) = outer.iters
+                tiles = [
+                    hw.bram(f"t{k}", tp, tile) for k in range(num_arrays)
+                ]
+                with hw.parallel():
+                    for arr, buf in zip(arrays, tiles):
+                        hw.tile_load(arr, buf, (i,), (tile,), par=par_mem)
+                outT = hw.bram("outT", tp, tile)
+                acc = hw.reg("acc", tp)
+                for p in range(num_pipes):
+                    is_last = p == num_pipes - 1
+                    reduce_this = is_last
+                    src = tiles if p == 0 else [outT]
+                    _random_pipe(
+                        rng,
+                        f"body{p}",
+                        src,
+                        outT,
+                        acc if reduce_this else None,
+                        par_pipe,
+                        tp,
+                    )
+                if rng.random() < 0.5:
+                    hw.tile_store(out_arr, outT, (i,), (tile,), par=par_mem)
+                outer.returns(acc)
+    return design
+
+
+def _random_pipe(
+    rng: random.Random,
+    name: str,
+    sources: List,
+    outT,
+    acc,
+    par: int,
+    tp,
+) -> None:
+    depth = sources[0].dims[0]
+    with hw.pipe(
+        name,
+        [(depth, 1)],
+        par=par,
+        accum=("add", acc) if acc is not None else None,
+    ) as p:
+        (j,) = p.iters
+        values: List[Value] = [buf[j] for buf in sources]
+        num_ops = rng.randint(2, 24)
+        for _ in range(num_ops):
+            choice = rng.random()
+            if choice < 0.72 or len(values) < 2:
+                a = rng.choice(values)
+                b = rng.choice(values)
+                op = rng.choice(_BIN_OPS)
+                values.append(a._binop(op, b))
+            elif choice < 0.86 and tp.is_float:
+                a = rng.choice(values)
+                values.append(hw._unary(rng.choice(_UN_OPS), a))
+            else:
+                a = rng.choice(values)
+                b = rng.choice(values)
+                cond = a._binop(rng.choice(_CMP_OPS), b)
+                values.append(hw.mux(cond, a, b))
+        final = values[-1]
+        if acc is not None:
+            p.returns(final)
+        else:
+            outT[j] = final

@@ -1,0 +1,127 @@
+"""Training of the design-level correction models (paper Section IV-B2).
+
+One neural network is trained for each of three place-and-route effects —
+routing LUT usage, register duplication, and unavailable LUTs — on a common
+set of randomly generated design samples, using the synthesis substrate as
+ground truth. Duplicated block RAMs are fit with a simple linear function
+of routing LUTs (the paper found complex models did no better). Like the
+template models, these corrections are application-independent and need
+training only once per device and toolchain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..synth.synthesis import synthesize
+from ..target.board import MAIA, Board
+from .characterize import TemplateModels
+from .counts import Counts
+from .features import design_features
+from .nn import MLP, MLPConfig, fit_linear
+from .samples import generate_sample_design
+
+DEFAULT_SAMPLES = 200
+
+
+@dataclass
+class CorrectionModels:
+    """Trained NN + linear corrections applied on top of raw counts."""
+
+    routing_net: MLP
+    dup_reg_net: MLP
+    unavail_net: MLP
+    bram_coef: np.ndarray  # dup_brams ~ c0 + c1 * routing_luts
+    training_summary: Dict[str, float] = field(default_factory=dict)
+
+    def predict_routing_luts(self, feats: Sequence[float], raw: Counts) -> float:
+        """Route-through LUTs from design features (NN fraction x raw LUTs)."""
+        frac = float(self.routing_net.predict(np.array(feats))[0])
+        return min(max(frac, 0.01), 0.5) * raw.luts
+
+    def predict_duplicated_regs(self, feats: Sequence[float], raw: Counts) -> float:
+        """Registers duplicated for fanout reduction (NN fraction x raw regs)."""
+        frac = float(self.dup_reg_net.predict(np.array(feats))[0])
+        return min(max(frac, 0.0), 0.4) * raw.regs
+
+    def predict_unavailable_luts(self, feats: Sequence[float], raw: Counts) -> float:
+        """LUTs lost to LAB mapping constraints (NN fraction x raw LUTs)."""
+        frac = float(self.unavail_net.predict(np.array(feats))[0])
+        return min(max(frac, 0.0), 0.3) * raw.luts
+
+    def predict_duplicated_brams(self, routing_luts: float, raw: Counts) -> float:
+        """Duplicated BRAMs: a simple linear fit driven by routing LUTs.
+
+        The fit predicts the duplication *fraction* from the routing-LUT
+        fraction (the paper's observation that BRAM duplication tracks
+        routing complexity), then scales by the design's BRAM count.
+        Duplication is clamped to the paper's observed 0-100% range.
+        """
+        routing_frac = routing_luts / max(raw.luts, 1.0)
+        frac = float(self.bram_coef[0] + self.bram_coef[1] * routing_frac)
+        return min(max(frac, 0.0), 1.0) * raw.brams
+
+
+def train_corrections(
+    models: TemplateModels,
+    board: Board = MAIA,
+    n_samples: int = DEFAULT_SAMPLES,
+    seed: int = 7,
+    epochs: int = 400,
+) -> CorrectionModels:
+    """Generate sample designs, synthesize them, and train the corrections."""
+    from .area import raw_area  # local import to avoid a module cycle
+
+    feats_rows: List[List[float]] = []
+    routing_frac: List[float] = []
+    dup_reg_frac: List[float] = []
+    unavail_frac: List[float] = []
+    dup_bram_frac: List[float] = []
+
+    for k in range(n_samples):
+        design = generate_sample_design(seed * 10_000 + k)
+        raw = raw_area(design, models)
+        report = synthesize(design, board)
+        feats_rows.append(design_features(design, raw.counts, raw.wire_bits))
+        luts = max(raw.counts.luts, 1.0)
+        regs = max(raw.counts.regs, 1.0)
+        routing_frac.append(report.routing_luts / luts)
+        dup_reg_frac.append(report.duplicated_regs / regs)
+        unavail_frac.append(report.unavailable_luts / luts)
+        if raw.counts.brams >= 1.0:
+            dup_bram_frac.append(
+                (report.duplicated_brams / raw.counts.brams, routing_frac[-1])
+            )
+
+    x = np.array(feats_rows, dtype=float)
+
+    def train_net(y: List[float], net_seed: int) -> MLP:
+        net = MLP(MLPConfig(seed=net_seed, epochs=epochs))
+        net.fit(x, np.array(y, dtype=float))
+        return net
+
+    routing_net = train_net(routing_frac, 11)
+    dup_reg_net = train_net(dup_reg_frac, 22)
+    unavail_net = train_net(unavail_frac, 33)
+    if dup_bram_frac:
+        fracs = np.array([f for f, _ in dup_bram_frac])
+        routes = np.array([r for _, r in dup_bram_frac])
+        bram_coef = fit_linear(routes[:, None], fracs)
+    else:  # pragma: no cover - training sets always contain BRAMs
+        bram_coef = np.array([0.1, 0.0])
+
+    summary = {
+        "n_samples": float(n_samples),
+        "routing_loss": routing_net.loss_history[-1],
+        "dup_reg_loss": dup_reg_net.loss_history[-1],
+        "unavail_loss": unavail_net.loss_history[-1],
+        "mean_routing_frac": float(np.mean(routing_frac)),
+        "mean_dup_reg_frac": float(np.mean(dup_reg_frac)),
+        "mean_unavail_frac": float(np.mean(unavail_frac)),
+    }
+    return CorrectionModels(
+        routing_net, dup_reg_net, unavail_net, bram_coef, summary
+    )

@@ -1,0 +1,5 @@
+"""HLS-style comparator used by the Table IV estimation-speed experiment."""
+
+from .tool import HLSExplosionError, HLSReport, HLSTool
+
+__all__ = ["HLSExplosionError", "HLSReport", "HLSTool"]

@@ -1,0 +1,86 @@
+"""Human-readable printer for DHDL designs.
+
+Renders the hierarchical controller tree with per-node parameters — useful
+for debugging benchmark construction and for documentation examples.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .controllers import Controller, Pipe
+from .graph import Design
+from .memops import TileTransfer
+from .memories import OnChipMemory
+from .node import Node, Value
+from .primitives import LoadOp, Prim, StoreOp
+
+
+def format_design(design: Design) -> str:
+    """Render ``design`` as an indented template tree."""
+    lines: List[str] = [f"Design {design.name}"]
+    for off in design.offchip_mems:
+        dims = "x".join(str(d) for d in off.dims)
+        lines.append(f"  OffChipMem {off.name}[{dims}] : {off.tp.short_name()}")
+    for mem in design.top_mems:
+        lines.append(f"  {_fmt_mem(mem)}")
+    for top in design.top_controllers:
+        _fmt_controller(top, lines, indent=1)
+    return "\n".join(lines)
+
+
+def _fmt_mem(mem: OnChipMemory) -> str:
+    extra = []
+    if getattr(mem, "dims", None):
+        extra.append("x".join(str(d) for d in mem.dims))
+    if mem.banks > 1:
+        extra.append(f"banks={mem.banks}")
+    if mem.double_buffered:
+        extra.append("double")
+    detail = f" ({', '.join(extra)})" if extra else ""
+    return f"{mem.kind} {mem.name} : {mem.tp.short_name()}{detail}"
+
+
+def _fmt_controller(ctrl: Controller, lines: List[str], indent: int) -> None:
+    pad = "  " * indent
+    bits = [f"{ctrl.kind} {ctrl.name}"]
+    if ctrl.cchain is not None:
+        dims = ", ".join(f"{e} by {s}" for e, s in ctrl.cchain.dims)
+        bits.append(f"({dims})")
+    if ctrl.par > 1:
+        bits.append(f"par={ctrl.par}")
+    if ctrl.pattern != "map":
+        bits.append(f"pattern={ctrl.pattern}")
+    if ctrl.accum is not None:
+        bits.append(f"accum={ctrl.accum[0]}->{ctrl.accum[1].name}")
+    if isinstance(ctrl, TileTransfer):
+        sizes = "x".join(str(s) for s in ctrl.sizes)
+        direction = "<-" if ctrl.is_load else "->"
+        bits.append(f"{ctrl.bram.name} {direction} {ctrl.offchip.name} [{sizes}]")
+    lines.append(pad + " ".join(bits))
+    for mem in ctrl.local_mems:
+        lines.append(pad + "  " + _fmt_mem(mem))
+    if isinstance(ctrl, Pipe):
+        for node in ctrl.body_prims:
+            line = _fmt_prim(node)
+            if line:
+                lines.append(pad + "  " + line)
+    else:
+        for child in ctrl.stages:
+            _fmt_controller(child, lines, indent + 1)
+
+
+def _fmt_prim(node: Node) -> str:
+    if isinstance(node, Prim):
+        args = ", ".join(f"%{v.nid}" for v in node.inputs)
+        width = f" x{node.width}" if node.width > 1 else ""
+        return f"%{node.nid} = {node.op}({args}) : {node.tp.short_name()}{width}"
+    if isinstance(node, LoadOp):
+        idx = ", ".join(f"%{v.nid}" for v in node.indices)
+        return f"%{node.nid} = ld {node.mem.name}[{idx}]"
+    if isinstance(node, StoreOp):
+        idx = ", ".join(f"%{v.nid}" for v in node.indices)
+        return f"st {node.mem.name}[{idx}] = %{node.value.nid}"
+    if isinstance(node, Value) and hasattr(node, "value"):
+        return ""  # constants are inlined conceptually
+    return ""

@@ -1,0 +1,159 @@
+"""Design parameters and the legal-value heuristics from Section IV-C.
+
+A DHDL program is metaprogrammed: concrete parameter values (tile sizes,
+parallelization factors, MetaPipe toggles) are passed as arguments when a
+design instance is built. This module describes parameter *spaces* — the
+candidate values the design space explorer may choose from — together with
+the pruning heuristics the paper uses:
+
+* parallelization factors are integer divisors of iteration counts;
+* tile sizes are divisors of the annotated data dimensions;
+* each local memory is capped at a fixed maximum size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Sequence
+
+
+def divisors(n: int) -> List[int]:
+    """All positive integer divisors of ``n`` in ascending order."""
+    if n <= 0:
+        raise ValueError(f"divisors requires a positive integer, got {n}")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def divisors_up_to(n: int, cap: int) -> List[int]:
+    """Divisors of ``n`` that are at most ``cap``."""
+    return [d for d in divisors(n) if d <= cap]
+
+
+@dataclass(frozen=True)
+class IntParam:
+    """An integer-valued design parameter with an explicit candidate list."""
+
+    name: str
+    candidates: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise ValueError(f"parameter {self.name!r} has no candidates")
+
+    @property
+    def size(self) -> int:
+        return len(self.candidates)
+
+
+@dataclass(frozen=True)
+class BoolParam:
+    """A boolean design parameter (e.g. a MetaPipe toggle)."""
+
+    name: str
+    candidates: Sequence[bool] = (False, True)
+
+    @property
+    def size(self) -> int:
+        return len(self.candidates)
+
+
+Param = object  # IntParam | BoolParam — kept loose for 3.9 compatibility.
+Point = Dict[str, object]
+
+
+@dataclass
+class ParamSpace:
+    """An ordered collection of parameters plus legality constraints.
+
+    ``constraints`` are predicates over a full assignment; a point is legal
+    only if every constraint accepts it. Constraints encode cross-parameter
+    rules such as "the parallelization factor must divide the tile size" and
+    the on-chip memory capacity cap.
+    """
+
+    params: List[object] = field(default_factory=list)
+    constraints: List[Callable[[Point], bool]] = field(default_factory=list)
+
+    def add(self, param: object) -> object:
+        """Register a parameter (names must be unique)."""
+        if any(p.name == param.name for p in self.params):
+            raise ValueError(f"duplicate parameter name {param.name!r}")
+        self.params.append(param)
+        return param
+
+    def int_param(self, name: str, candidates: Sequence[int]) -> IntParam:
+        """Declare an integer parameter with an explicit candidate list."""
+        param = IntParam(name, tuple(candidates))
+        self.add(param)
+        return param
+
+    def bool_param(self, name: str) -> BoolParam:
+        """Declare a boolean parameter (e.g. a MetaPipe toggle)."""
+        param = BoolParam(name)
+        self.add(param)
+        return param
+
+    def constrain(self, predicate: Callable[[Point], bool]) -> None:
+        """Add a legality predicate over full parameter assignments."""
+        self.constraints.append(predicate)
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.params]
+
+    @property
+    def cardinality(self) -> int:
+        """Size of the unconstrained cross-product space."""
+        total = 1
+        for p in self.params:
+            total *= p.size
+        return total
+
+    def is_legal(self, point: Point) -> bool:
+        """Whether ``point`` satisfies every registered constraint."""
+        return all(c(point) for c in self.constraints)
+
+    def iter_points(self) -> Iterator[Point]:
+        """Iterate the full cross product (legal points only)."""
+        names = self.names
+        for combo in itertools.product(*(p.candidates for p in self.params)):
+            point = dict(zip(names, combo))
+            if self.is_legal(point):
+                yield point
+
+    def sample(self, rng, max_points: int) -> List[Point]:
+        """Randomly sample up to ``max_points`` distinct legal points.
+
+        Mirrors the paper's strategy of randomly generating estimates for up
+        to 75,000 legal points; illegal points are discarded immediately.
+        """
+        if self.cardinality <= max_points * 4:
+            points = list(self.iter_points())
+            rng.shuffle(points)
+            return points[:max_points]
+        seen = set()
+        points: List[Point] = []
+        names = self.names
+        candidate_lists = [list(p.candidates) for p in self.params]
+        attempts = 0
+        # Bound attempts so a tightly-constrained space cannot loop forever.
+        max_attempts = max_points * 50
+        while len(points) < max_points and attempts < max_attempts:
+            attempts += 1
+            combo = tuple(c[rng.randrange(len(c))] for c in candidate_lists)
+            if combo in seen:
+                continue
+            seen.add(combo)
+            point = dict(zip(names, combo))
+            if self.is_legal(point):
+                points.append(point)
+        return points

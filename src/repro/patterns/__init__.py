@@ -1,0 +1,6 @@
+"""Parallel-pattern frontend: map/zipWith/reduce/filter/groupBy -> DHDL."""
+
+from .lang import Collection, PatternError, Program, input_vector
+from .lowering import lower
+
+__all__ = ["Collection", "PatternError", "Program", "input_vector", "lower"]

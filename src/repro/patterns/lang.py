@@ -1,0 +1,134 @@
+"""Parallel-pattern frontend AST (paper Figure 1, step 1).
+
+The paper's input programs are written with high-level parallel patterns —
+map, zipWith, reduce, filter, groupBy — that are automatically lowered to
+DHDL (citing the authors' prior ASPLOS'16 work). This module provides that
+frontend for one-dimensional collections: a tiny pattern AST built by
+composition, lowered by :mod:`repro.patterns.lowering` with fusion and
+tiling into the same templates the hand-written benchmarks use.
+
+Example (dot product)::
+
+    a = input_vector("a", Float32, n)
+    b = input_vector("b", Float32, n)
+    prog = a.zip_with(b, lambda x, y: x * y).reduce("add")
+    design = lower(prog, tile=1024, par=8)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..ir.types import HWType
+
+
+class PatternError(Exception):
+    """Raised for malformed pattern programs."""
+
+
+@dataclass
+class Collection:
+    """A logical 1-D collection produced by a pattern expression."""
+
+    length: int
+    tp: HWType
+    op: str  # 'input' | 'map' | 'zip'
+    name: Optional[str] = None
+    fn: Optional[Callable] = None
+    sources: List["Collection"] = field(default_factory=list)
+
+    # -- combinators ---------------------------------------------------------------
+    def map(self, fn: Callable, tp: Optional[HWType] = None) -> "Collection":
+        """Elementwise transformation."""
+        return Collection(self.length, tp or self.tp, "map", fn=fn,
+                          sources=[self])
+
+    def zip_with(
+        self, other: "Collection", fn: Callable, tp: Optional[HWType] = None
+    ) -> "Collection":
+        """Elementwise combination of two equal-length collections."""
+        if other.length != self.length:
+            raise PatternError(
+                f"zip_with over mismatched lengths "
+                f"{self.length} != {other.length}"
+            )
+        return Collection(self.length, tp or self.tp, "zip", fn=fn,
+                          sources=[self, other])
+
+    # -- terminal patterns ------------------------------------------------------------
+    def reduce(self, op: str = "add") -> "Program":
+        """Full reduction to a scalar."""
+        return Program(kind="reduce", source=self, combine=op)
+
+    def filter_reduce(
+        self, predicate: Callable, op: str = "add"
+    ) -> "Program":
+        """Reduce only elements satisfying ``predicate`` (filter + reduce).
+
+        A standalone filter produces a variable-length collection, which has
+        no static hardware size; like the paper's tpchq6, filters are fused
+        into the reduction via a multiplexer against the identity.
+        """
+        return Program(
+            kind="filter_reduce", source=self, combine=op,
+            predicate=predicate,
+        )
+
+    def group_by_reduce(
+        self,
+        key_fn: Callable,
+        num_groups: int,
+        op: str = "add",
+    ) -> "Program":
+        """Group elements by an integer key and reduce each group."""
+        return Program(
+            kind="groupby", source=self, combine=op,
+            key_fn=key_fn, num_groups=num_groups,
+        )
+
+    def collect(self, name: str = "out") -> "Program":
+        """Materialize the collection to an off-chip output array."""
+        return Program(kind="collect", source=self, out_name=name)
+
+    # -- introspection ---------------------------------------------------------------
+    def inputs(self) -> List["Collection"]:
+        """All distinct input collections feeding this expression."""
+        seen: List[Collection] = []
+
+        def walk(c: Collection) -> None:
+            if c.op == "input":
+                if all(s.name != c.name for s in seen):
+                    seen.append(c)
+                return
+            for src in c.sources:
+                walk(src)
+
+        walk(self)
+        return seen
+
+    def depth(self) -> int:
+        """Longest chain of fused pattern stages."""
+        if c_inputs := self.sources:
+            return 1 + max(s.depth() for s in c_inputs)
+        return 1
+
+
+@dataclass
+class Program:
+    """A complete pattern program: a collection plus a terminal pattern."""
+
+    kind: str  # 'reduce' | 'filter_reduce' | 'groupby' | 'collect'
+    source: Collection
+    combine: str = "add"
+    predicate: Optional[Callable] = None
+    key_fn: Optional[Callable] = None
+    num_groups: int = 0
+    out_name: str = "out"
+
+
+def input_vector(name: str, tp: HWType, length: int) -> Collection:
+    """Declare a named off-chip input collection."""
+    if length <= 0:
+        raise PatternError(f"collection {name!r} must have positive length")
+    return Collection(length, tp, "input", name=name)

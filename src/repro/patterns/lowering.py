@@ -1,0 +1,177 @@
+"""Lowering parallel patterns to DHDL (paper Figure 1, step 1).
+
+Implements the explicit lowering rules the paper describes: map/zipWith
+chains fuse into a single Pipe body (loop fusion), collections are tiled
+into BRAM-sized chunks with TileLd/TileSt command generators (loop and data
+tiling), reductions become reduce-pattern Pipes with balanced combine trees
+accumulating across tiles, filters fuse into reductions as multiplexers,
+and groupBy becomes a scatter-accumulate into an on-chip table.
+
+The tile size, parallelization factors, and MetaPipe toggle are the same
+design parameters the DSE explores for hand-written DHDL.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir import Design
+from ..ir import builder as hw
+from ..ir.node import IRError, Value
+from ..ir.types import Float32, Index
+from .lang import Collection, PatternError, Program
+
+_IDENTITY = {"add": 0.0, "mul": 1.0, "min": 1e30, "max": -1e30}
+
+
+def lower(
+    program: Program,
+    tile: int,
+    par: int = 1,
+    par_mem: int = 16,
+    metapipe: bool = True,
+    name: Optional[str] = None,
+) -> Design:
+    """Lower a pattern program into a tiled DHDL design instance."""
+    length = program.source.length
+    if length % tile != 0:
+        raise PatternError(
+            f"tile size {tile} must divide collection length {length} "
+            "(divisor pruning, paper Section IV-C)"
+        )
+    if tile % par != 0:
+        raise PatternError(
+            f"parallelization {par} must divide tile size {tile}"
+        )
+    lowerer = _Lowerer(program, tile, par, par_mem, metapipe)
+    return lowerer.run(name or f"pattern_{program.kind}")
+
+
+class _Lowerer:
+    def __init__(
+        self, program: Program, tile: int, par: int, par_mem: int,
+        metapipe: bool,
+    ) -> None:
+        self.program = program
+        self.tile = tile
+        self.par = par
+        self.par_mem = par_mem
+        self.metapipe = metapipe
+        self.bufs: Dict[str, object] = {}
+
+    def run(self, name: str) -> Design:
+        program = self.program
+        source = program.source
+        inputs = source.inputs()
+        if not inputs:
+            raise PatternError("pattern program has no input collections")
+        with Design(name) as design:
+            offchips = {
+                col.name: hw.offchip(col.name, col.tp, col.length)
+                for col in inputs
+            }
+            out_arr = None
+            result = None
+            groups = None
+            if program.kind == "collect":
+                out_arr = hw.offchip(program.out_name, source.tp, source.length)
+            elif program.kind == "groupby":
+                groups = hw.offchip(
+                    "groups", source.tp, program.num_groups
+                )
+            else:
+                result = hw.arg_out("out", source.tp)
+            with hw.sequential("top"):
+                groupsT = None
+                if program.kind == "groupby":
+                    groupsT = hw.bram("groupsT", source.tp, program.num_groups)
+                accum = (
+                    (program.combine, result) if result is not None else None
+                )
+                with hw.loop(
+                    "tiles",
+                    [(source.length, self.tile)],
+                    metapipe_=self.metapipe,
+                    accum=accum,
+                ) as tiles:
+                    (i,) = tiles.iters
+                    self.bufs = {
+                        col.name: hw.bram(f"{col.name}T", col.tp, self.tile)
+                        for col in inputs
+                    }
+                    with hw.parallel():
+                        for col in inputs:
+                            hw.tile_load(
+                                offchips[col.name], self.bufs[col.name],
+                                (i,), (self.tile,), par=self.par_mem,
+                            )
+                    self._emit_body(tiles, out_arr, groupsT, i)
+                if program.kind == "groupby":
+                    hw.tile_store(
+                        groups, groupsT, (0,), (program.num_groups,),
+                        par=self.par_mem,
+                    )
+        return design
+
+    def _emit_body(self, tiles, out_arr, groupsT, tile_start) -> None:
+        program = self.program
+        source = program.source
+        if program.kind in ("reduce", "filter_reduce"):
+            acc = hw.reg("acc", source.tp)
+            with hw.pipe(
+                "body", [(self.tile, 1)], par=self.par,
+                accum=(program.combine, acc),
+            ) as body:
+                (j,) = body.iters
+                value = self._eval(source, j)
+                if program.kind == "filter_reduce":
+                    keep = program.predicate(value)
+                    identity = _IDENTITY[program.combine]
+                    value = hw.mux(keep, value, identity)
+                body.returns(value)
+            tiles.returns(acc)
+        elif program.kind == "collect":
+            outT = hw.bram("outT", source.tp, self.tile)
+            with hw.pipe("body", [(self.tile, 1)], par=self.par) as body:
+                (j,) = body.iters
+                outT[j] = self._eval(source, j)
+            hw.tile_store(
+                out_arr, outT, (tile_start,), (self.tile,), par=self.par_mem
+            )
+        elif program.kind == "groupby":
+            with hw.pipe("body", [(self.tile, 1)]) as body:
+                (j,) = body.iters
+                value = self._eval(source, j)
+                key = program.key_fn(value)
+                if not isinstance(key, Value):
+                    raise PatternError("groupBy key function must return a value")
+                groupsT[key] = _combine_value(
+                    program.combine, groupsT[key], value
+                )
+        else:  # pragma: no cover - Program kinds are closed
+            raise PatternError(f"unknown terminal pattern {program.kind!r}")
+
+    def _eval(self, col: Collection, index: Value) -> Value:
+        """Recursively fuse the map/zip chain into primitive dataflow."""
+        if col.op == "input":
+            return self.bufs[col.name][index]
+        if col.op == "map":
+            return col.fn(self._eval(col.sources[0], index))
+        if col.op == "zip":
+            return col.fn(
+                self._eval(col.sources[0], index),
+                self._eval(col.sources[1], index),
+            )
+        raise PatternError(f"unknown collection op {col.op!r}")
+
+
+def _combine_value(op: str, a: Value, b: Value) -> Value:
+    if op == "add":
+        return a + b
+    if op == "mul":
+        return a * b
+    if op == "min":
+        return hw.minimum(a, b)
+    if op == "max":
+        return hw.maximum(a, b)
+    raise PatternError(f"unsupported combine operator {op!r}")

@@ -1,0 +1,177 @@
+"""One-shot evaluation report: every experiment at a chosen scale.
+
+``build_report`` runs scaled versions of the paper's Table III, Table IV,
+Figure 5 and Figure 6 experiments plus the Section IV-A effect census and
+renders a single markdown document — the quickest way to regenerate the
+whole evaluation story (``repro report -o report.md``). The pytest benches
+under ``benchmarks/`` remain the canonical per-experiment harness.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from .apps import all_benchmarks, get_benchmark
+from .dse import explore
+from .estimation import Estimator, generate_sample_design
+from .hls import HLSExplosionError, HLSTool
+from .sim import simulate
+from .synth import synthesize
+
+PAPER_SPEEDUPS = {
+    "dotproduct": 1.07, "outerprod": 2.42, "gemm": 0.10, "tpchq6": 1.11,
+    "blackscholes": 16.73, "gda": 4.55, "kmeans": 1.15,
+}
+
+
+def _table3_section(estimator: Estimator, points: int) -> List[str]:
+    lines = [
+        "## Table III — estimation error (5 Pareto points per benchmark)",
+        "",
+        "| benchmark | ALMs | DSPs | BRAM | runtime |",
+        "|---|---|---|---|---|",
+    ]
+    totals = {"alm": [], "dsp": [], "bram": [], "run": []}
+    for bench in all_benchmarks():
+        result = explore(bench, estimator, max_points=points, seed=17)
+        errs = {"alm": [], "dsp": [], "bram": [], "run": []}
+        for point in result.pareto_sample(5):
+            design = bench.build(result.dataset, **point.params)
+            est = point.estimate
+            rep = synthesize(design)
+            sim = simulate(design)
+            errs["alm"].append(abs(est.alms - rep.alms) / max(rep.alms, 1))
+            errs["dsp"].append(abs(est.dsps - rep.dsps) / max(rep.dsps, 1))
+            errs["bram"].append(
+                abs(est.brams - rep.brams) / max(rep.brams, 1)
+            )
+            errs["run"].append(
+                abs(est.cycles - sim.cycles) / max(sim.cycles, 1)
+            )
+        row = {k: 100 * float(np.mean(v)) for k, v in errs.items()}
+        for k in totals:
+            totals[k].append(row[k])
+        lines.append(
+            f"| {bench.name} | {row['alm']:.1f}% | {row['dsp']:.1f}% | "
+            f"{row['bram']:.1f}% | {row['run']:.1f}% |"
+        )
+    lines.append(
+        f"| **average** | **{np.mean(totals['alm']):.1f}%** | "
+        f"**{np.mean(totals['dsp']):.1f}%** | "
+        f"**{np.mean(totals['bram']):.1f}%** | "
+        f"**{np.mean(totals['run']):.1f}%** |"
+    )
+    lines.append("")
+    lines.append("Paper averages: 4.8% / 7.5% / 12.3% / 6.1%.")
+    return lines
+
+
+def _table4_section(estimator: Estimator) -> List[str]:
+    bench = get_benchmark("gda")
+    ds = bench.default_dataset()
+    import random
+
+    points = bench.param_space(ds).sample(random.Random(21), 40)
+    tool = HLSTool()
+
+    def timed(fn, pts):
+        start = time.perf_counter()
+        for p in pts:
+            fn(p)
+        return (time.perf_counter() - start) / max(len(pts), 1)
+
+    ours = timed(lambda p: estimator.estimate(bench.build(ds, **p)), points)
+
+    def hls(pipeline, p):
+        try:
+            tool.estimate(bench.build(ds, **p), pipeline)
+        except HLSExplosionError:
+            pass
+
+    restricted = timed(lambda p: hls(False, p), points[:8])
+    full = timed(lambda p: hls(True, p), points[:2])
+    return [
+        "## Table IV — estimation speed per design point (GDA)",
+        "",
+        "| tool | s/design | vs ours |",
+        "|---|---|---|",
+        f"| ours | {ours:.5f} | 1x |",
+        f"| HLS-style restricted | {restricted:.5f} | "
+        f"{restricted / ours:.0f}x |",
+        f"| HLS-style full | {full:.5f} | {full / ours:.0f}x |",
+        "",
+        "Paper: 0.017 s vs 4.75 s (279x) vs 111.06 s (6533x).",
+    ]
+
+
+def _figure6_section(estimator: Estimator, points: int) -> List[str]:
+    lines = [
+        "## Figure 6 — best-design speedup over the 6-core CPU",
+        "",
+        "| benchmark | measured | paper |",
+        "|---|---|---|",
+    ]
+    for bench in all_benchmarks():
+        result = explore(bench, estimator, max_points=points, seed=31)
+        best = result.best
+        design = bench.build(result.dataset, **best.params)
+        speedup = bench.cpu_time(result.dataset) / simulate(design).seconds
+        lines.append(
+            f"| {bench.name} | {speedup:.2f}x | "
+            f"{PAPER_SPEEDUPS[bench.name]}x |"
+        )
+    return lines
+
+
+def _effects_section() -> List[str]:
+    reports = [
+        synthesize(generate_sample_design(7000 + k)) for k in range(30)
+    ]
+    pack = np.mean([r.packed_fraction for r in reports])
+    routing = np.mean(
+        [r.routing_luts / max(r.raw_luts_packable + r.raw_luts_unpackable, 1)
+         for r in reports]
+    )
+    dup_reg = np.mean([r.duplicated_regs / max(r.regs, 1) for r in reports])
+    unavail = np.mean(
+        [r.unavailable_luts / max(r.total_luts, 1) for r in reports]
+    )
+    return [
+        "## Section IV-A — place-and-route effect magnitudes",
+        "",
+        "| effect | measured | paper |",
+        "|---|---|---|",
+        f"| LUT pack rate | {pack:.0%} | ~80% |",
+        f"| route-through LUTs | {routing:.1%} | ~10% |",
+        f"| duplicated registers | {dup_reg:.1%} | ~5% |",
+        f"| unavailable LUTs | {unavail:.1%} | ~4% |",
+    ]
+
+
+def build_report(
+    estimator: Estimator,
+    dse_points: int = 400,
+    sections: Optional[List[str]] = None,
+) -> str:
+    """Render the consolidated evaluation report as markdown."""
+    chosen = sections or ["table3", "table4", "figure6", "effects"]
+    parts: List[str] = [
+        "# Evaluation report — DHDL reproduction",
+        "",
+        f"DSE budget: {dse_points} points per benchmark "
+        "(paper-scale: 75,000). All substrates deterministic; see "
+        "EXPERIMENTS.md for interpretation.",
+        "",
+    ]
+    if "table3" in chosen:
+        parts += _table3_section(estimator, dse_points) + [""]
+    if "table4" in chosen:
+        parts += _table4_section(estimator) + [""]
+    if "figure6" in chosen:
+        parts += _figure6_section(estimator, dse_points) + [""]
+    if "effects" in chosen:
+        parts += _effects_section() + [""]
+    return "\n".join(parts)

@@ -1,0 +1,333 @@
+"""Functional simulation: execute a DHDL design and compute its outputs.
+
+Used to validate that generated accelerator designs are *correct*, not just
+fast: examples and tests run each benchmark's DHDL program on real inputs
+and compare against the numpy reference implementation.
+
+Semantics notes:
+
+* Parallelization factors, double buffering, and banking do not affect
+  functional results — they are performance parameters — so the
+  interpreter executes loop nests sequentially.
+* A controller's ``accum`` target is reset to the reduction identity each
+  time the controller starts executing, then combined once per iteration
+  with the controller's declared result (the paper's trailing ``{_+_}``).
+* Arithmetic follows Python/numpy float semantics by default; pass
+  ``quantize=True`` for bit-accurate fixed-point rounding and saturation
+  (floating-point stays in double precision — documented substitution).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..ir.controllers import Controller, CounterIter, MetaPipe, Parallel, Pipe, Sequential
+from ..ir.graph import Design
+from ..ir.memories import BRAM, OffChipMem, OnChipMemory, PriorityQueue, Reg
+from ..ir.memops import TileLd, TileSt, TileTransfer
+from ..ir.node import Const, IRError, Node, Value
+from ..ir.primitives import LoadOp, Prim, StoreOp
+
+_IDENTITY = {"add": 0.0, "sub": 0.0, "mul": 1.0, "min": math.inf, "max": -math.inf}
+
+
+def _combine(op: str, a, b):
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "min":
+        return np.minimum(a, b)
+    if op == "max":
+        return np.maximum(a, b)
+    raise IRError(f"unsupported reduction operator {op!r}")
+
+
+def quantize_fixed(value: float, tp) -> float:
+    """Round ``value`` to the representable grid of a fixed-point type.
+
+    Values snap to multiples of 2^-frac_bits and saturate at the type's
+    range bounds (signed two's-complement or unsigned).
+    """
+    scale = float(1 << tp.frac_bits)
+    if tp.signed:
+        lo = -(2 ** (tp.int_bits - 1)) if tp.int_bits > 0 else 0.0
+        hi = (2 ** (tp.int_bits - 1)) - 1.0 / scale if tp.int_bits > 0 else 0.0
+    else:
+        lo = 0.0
+        hi = (2 ** tp.int_bits) - 1.0 / scale
+    snapped = math.floor(value * scale + 0.5) / scale
+    return min(max(snapped, lo), hi)
+
+
+class FunctionalSim:
+    """Interpret a DHDL design over concrete input arrays.
+
+    With ``quantize=True``, fixed-point arithmetic is bit-accurately
+    rounded and saturated per node result type; floating-point values are
+    left in double precision either way (documented substitution).
+    """
+
+    def __init__(self, design: Design, quantize: bool = False) -> None:
+        self.design = design
+        self.quantize = quantize
+        self.offchip: Dict[int, np.ndarray] = {}
+        self.brams: Dict[int, np.ndarray] = {}
+        self.regs: Dict[int, float] = {}
+        self.pqueues: Dict[int, List[float]] = {}
+        self._iters: Dict[int, int] = {}
+
+    # -- public API ---------------------------------------------------------------
+    def run(self, inputs: Dict[str, np.ndarray]) -> Dict[str, object]:
+        """Execute the design with ``inputs`` bound to off-chip memories.
+
+        Returns the final contents of every off-chip memory and the value
+        of every ArgOut register, keyed by name.
+        """
+        self._bind_inputs(inputs)
+        self._init_onchip()
+        for top in self.design.top_controllers:
+            self._exec_controller(top)
+        outputs: Dict[str, object] = {
+            mem.name: self.offchip[mem.nid] for mem in self.design.offchip_mems
+        }
+        for reg in self.design.arg_outs:
+            outputs[reg.name] = self.regs[reg.nid]
+        return outputs
+
+    # -- state ----------------------------------------------------------------------
+    def _bind_inputs(self, inputs: Dict[str, np.ndarray]) -> None:
+        for mem in self.design.offchip_mems:
+            if mem.name in inputs:
+                arr = np.array(inputs[mem.name], dtype=float)
+                if arr.shape != mem.dims:
+                    raise IRError(
+                        f"input {mem.name!r} has shape {arr.shape}, "
+                        f"expected {mem.dims}"
+                    )
+            else:
+                arr = np.zeros(mem.dims, dtype=float)
+            self.offchip[mem.nid] = arr
+
+    def _init_onchip(self) -> None:
+        for mem in self.design.onchip_mems():
+            if isinstance(mem, BRAM):
+                self.brams[mem.nid] = np.zeros(mem.dims, dtype=float)
+            elif isinstance(mem, PriorityQueue):
+                self.pqueues[mem.nid] = []
+            elif isinstance(mem, Reg):
+                self.regs[mem.nid] = 0.0
+
+    # -- controllers --------------------------------------------------------------------
+    def _exec_controller(self, ctrl: Controller) -> None:
+        if isinstance(ctrl, TileTransfer):
+            self._exec_transfer(ctrl)
+            return
+        if isinstance(ctrl, Pipe):
+            self._exec_pipe(ctrl)
+            return
+        # Loop controllers: MetaPipe / Sequential / Parallel.
+        self._reset_accum(ctrl)
+        for _ in self._iterate(ctrl):
+            for child in ctrl.stages:
+                self._exec_controller(child)
+            self._apply_accum(ctrl)
+
+    def _iterate(self, ctrl: Controller):
+        """Yield once per iteration, with counter iterators bound."""
+        if ctrl.cchain is None:
+            yield ()
+            return
+        dims = ctrl.cchain.dims
+        iters = ctrl.cchain.iters
+
+        def rec(level: int):
+            if level == len(dims):
+                yield ()
+                return
+            extent, step = dims[level]
+            for value in range(0, extent, step):
+                self._iters[iters[level].nid] = value
+                yield from rec(level + 1)
+
+        for point in rec(0):
+            yield point
+
+    def _reset_accum(self, ctrl: Controller) -> None:
+        if ctrl.accum is None:
+            return
+        op, target = ctrl.accum
+        if op not in _IDENTITY:
+            raise IRError(f"unsupported reduction operator {op!r}")
+        identity = _IDENTITY[op]
+        if isinstance(target, BRAM):
+            self.brams[target.nid][:] = identity
+        else:
+            self.regs[target.nid] = identity
+
+    def _apply_accum(self, ctrl: Controller) -> None:
+        if ctrl.accum is None:
+            return
+        op, target = ctrl.accum
+        result = ctrl.result
+        if result is None:
+            raise IRError(f"{ctrl.name!r} has accum but no result")
+        if isinstance(target, BRAM):
+            if not isinstance(result, BRAM):
+                raise IRError(
+                    f"{ctrl.name!r}: BRAM accumulation requires a BRAM result"
+                )
+            self.brams[target.nid] = _combine(
+                op, self.brams[target.nid], self.brams[result.nid]
+            )
+        else:
+            value = (
+                self.regs[result.nid]
+                if isinstance(result, Reg)
+                else self._eval(result, {})
+            )
+            self.regs[target.nid] = _combine(op, self.regs[target.nid], value)
+
+    # -- tile transfers ---------------------------------------------------------------------
+    def _exec_transfer(self, transfer: TileTransfer) -> None:
+        off = self.offchip[transfer.offchip.nid]
+        bram = self.brams[transfer.bram.nid]
+        starts = [int(self._eval_index(s)) for s in transfer.starts]
+        region = tuple(
+            slice(start, start + size)
+            for start, size in zip(starts, transfer.sizes)
+        )
+        words = transfer.words
+        if isinstance(transfer, TileLd):
+            block = off[region]
+            bram.flat[:words] = block.ravel()
+        else:
+            shape = tuple(s.stop - s.start for s in region)
+            off[region] = bram.flat[:words].reshape(shape)
+
+    def _eval_index(self, start: Union[int, Value]) -> float:
+        if isinstance(start, Value):
+            return self._eval(start, {})
+        return start
+
+    # -- pipes -------------------------------------------------------------------------------
+    def _exec_pipe(self, pipe: Pipe) -> None:
+        self._reset_accum(pipe)
+        body = pipe.body_prims
+        for _ in self._iterate(pipe):
+            memo: Dict[int, object] = {}
+            for node in body:
+                if isinstance(node, StoreOp):
+                    self._exec_store(node, memo)
+                elif isinstance(node, Value):
+                    self._eval(node, memo)
+            if pipe.accum is not None:
+                op, target = pipe.accum
+                if not isinstance(pipe.result, Value):
+                    raise IRError(
+                        f"Pipe {pipe.name!r} reduce requires a value result"
+                    )
+                value = self._eval(pipe.result, memo)
+                self.regs[target.nid] = _combine(
+                    op, self.regs[target.nid], value
+                )
+
+    def _exec_store(self, store: StoreOp, memo: Dict[int, object]) -> None:
+        value = self._eval(store.value, memo)
+        mem = store.mem
+        if isinstance(mem, BRAM):
+            idx = tuple(int(self._eval(i, memo)) for i in store.indices)
+            self.brams[mem.nid][idx] = value
+        elif isinstance(mem, PriorityQueue):
+            queue = self.pqueues[mem.nid]
+            queue.append(float(value))
+            queue.sort(reverse=not mem.ascending)
+            del queue[mem.depth:]
+        else:
+            self.regs[mem.nid] = value
+
+    # -- expression evaluation ----------------------------------------------------------------
+    def _eval(self, node: Value, memo: Dict[int, object]):
+        if node.nid in memo:
+            return memo[node.nid]
+        value = self._eval_uncached(node, memo)
+        memo[node.nid] = value
+        return value
+
+    def _eval_uncached(self, node: Value, memo: Dict[int, object]):
+        if isinstance(node, Const):
+            return float(node.value) if not isinstance(node.value, bool) else node.value
+        if isinstance(node, CounterIter):
+            return self._iters[node.nid]
+        if isinstance(node, LoadOp):
+            mem = node.mem
+            if isinstance(mem, BRAM):
+                idx = tuple(int(self._eval(i, memo)) for i in node.indices)
+                return self.brams[mem.nid][idx]
+            if isinstance(mem, PriorityQueue):
+                pos = int(self._eval(node.indices[0], memo))
+                queue = self.pqueues[mem.nid]
+                return queue[pos] if pos < len(queue) else math.inf
+            return self.regs[mem.nid]
+        if isinstance(node, Prim):
+            return self._eval_prim(node, memo)
+        raise IRError(f"cannot evaluate node {node!r}")
+
+    def _eval_prim(self, node: Prim, memo: Dict[int, object]):
+        args = [self._eval(v, memo) for v in node.inputs]
+        value = self._apply_prim(node.op, args)
+        if self.quantize and node.tp.is_fixed and isinstance(value, float):
+            value = quantize_fixed(value, node.tp)
+        return value
+
+    def _apply_prim(self, op: str, args):
+        if op == "add":
+            return args[0] + args[1]
+        if op == "sub":
+            return args[0] - args[1]
+        if op == "mul":
+            return args[0] * args[1]
+        if op == "div":
+            return args[0] / args[1]
+        if op == "lt":
+            return args[0] < args[1]
+        if op == "gt":
+            return args[0] > args[1]
+        if op == "le":
+            return args[0] <= args[1]
+        if op == "ge":
+            return args[0] >= args[1]
+        if op == "eq":
+            return args[0] == args[1]
+        if op == "ne":
+            return args[0] != args[1]
+        if op == "and":
+            return bool(args[0]) and bool(args[1])
+        if op == "or":
+            return bool(args[0]) or bool(args[1])
+        if op == "not":
+            return not bool(args[0])
+        if op == "neg":
+            return -args[0]
+        if op == "abs":
+            return abs(args[0])
+        if op == "mux":
+            return args[1] if bool(args[0]) else args[2]
+        if op == "sqrt":
+            return math.sqrt(args[0])
+        if op == "log":
+            return math.log(args[0])
+        if op == "exp":
+            return math.exp(args[0])
+        if op == "floor":
+            return math.floor(args[0])
+        if op == "min":
+            return min(args[0], args[1])
+        if op == "max":
+            return max(args[0], args[1])
+        raise IRError(f"unsupported primitive {op!r} in functional simulation")

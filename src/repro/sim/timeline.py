@@ -1,0 +1,128 @@
+"""Execution timeline: a Gantt-style view of one design's schedule.
+
+Builds start/end intervals for every controller from the cycle simulator's
+per-controller results, respecting the schedule semantics — Sequential
+stages chain, Parallel children share a start, MetaPipe stages overlap
+after their fill delay. One *representative* outer iteration is laid out
+(steady state), which is what you want when eyeballing where time goes.
+
+Used for debugging schedules and by tests that check overlap semantics;
+`render_ascii` gives a terminal-friendly chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..ir.controllers import Controller, MetaPipe, Parallel, Pipe, Sequential
+from ..ir.graph import Design
+from ..ir.memops import TileTransfer
+from ..target.board import MAIA, Board
+from .executor import (
+    METAPIPE_STAGE_HANDSHAKE,
+    SEQ_STAGE_HANDSHAKE,
+    SimResult,
+    simulate,
+)
+
+
+@dataclass
+class Interval:
+    """One controller's activity window within the laid-out schedule."""
+
+    name: str
+    kind: str
+    start: float
+    end: float
+    depth: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    design_name: str
+    intervals: List[Interval] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return max((iv.end for iv in self.intervals), default=0.0)
+
+    def overlapping(self, a: str, b: str) -> bool:
+        """Do the (first) intervals of controllers ``a`` and ``b`` overlap?"""
+        ia = next(iv for iv in self.intervals if iv.name == a)
+        ib = next(iv for iv in self.intervals if iv.name == b)
+        return ia.start < ib.end and ib.start < ia.end
+
+    def render_ascii(self, width: int = 64) -> str:
+        """A terminal Gantt chart of the laid-out intervals."""
+        span = self.makespan or 1.0
+        lines = [f"timeline: {self.design_name} "
+                 f"({span:,.0f} cycles; one execution per controller)"]
+        for iv in self.intervals:
+            lo = int(iv.start / span * width)
+            hi = max(int(iv.end / span * width), lo + 1)
+            bar = " " * lo + "#" * (hi - lo)
+            label = ("  " * iv.depth + iv.name)[:24]
+            lines.append(f"{label:24s}|{bar:<{width}}|")
+        return "\n".join(lines)
+
+
+def build_timeline(design: Design, board: Board = MAIA) -> Timeline:
+    """Lay out one steady-state iteration of the design's schedule."""
+    result = simulate(design, board)
+    timeline = Timeline(design.name)
+
+    def duration(ctrl: Controller) -> float:
+        return result.per_controller.get(f"{ctrl.name}#{ctrl.nid}", 0.0)
+
+    def layout(ctrl: Controller, start: float, depth: int) -> float:
+        """Place ``ctrl`` (one execution) at ``start``; return its end."""
+        if isinstance(ctrl, (Pipe, TileTransfer)):
+            end = start + duration(ctrl)
+            timeline.intervals.append(
+                Interval(ctrl.name, ctrl.kind, start, end, depth)
+            )
+            return end
+        if isinstance(ctrl, Parallel):
+            end = start
+            timeline.intervals.append(
+                Interval(ctrl.name, ctrl.kind, start, start + duration(ctrl),
+                         depth)
+            )
+            for child in ctrl.stages:
+                end = max(end, layout(child, start, depth + 1))
+            return end
+        if isinstance(ctrl, MetaPipe):
+            # Steady state: each stage starts one handshake after the
+            # previous stage *started* (they overlap on successive
+            # iterations' data).
+            whole = duration(ctrl)
+            timeline.intervals.append(
+                Interval(ctrl.name, ctrl.kind, start, start + whole, depth)
+            )
+            cursor = start
+            end = start
+            for child in ctrl.stages:
+                child_end = layout(child, cursor, depth + 1)
+                cursor += METAPIPE_STAGE_HANDSHAKE
+                end = max(end, child_end)
+            return start + whole
+        if isinstance(ctrl, Sequential):
+            whole = duration(ctrl)
+            timeline.intervals.append(
+                Interval(ctrl.name, ctrl.kind, start, start + whole, depth)
+            )
+            cursor = start
+            for child in ctrl.stages:
+                cursor = layout(child, cursor, depth + 1)
+                cursor += SEQ_STAGE_HANDSHAKE
+            return start + whole
+        return start  # pragma: no cover
+
+    for top in design.top_controllers:
+        layout(top, 0.0, 0)
+    return timeline

@@ -1,0 +1,23 @@
+"""Synthesis substrate: a deterministic logic-synthesis + P&R simulator.
+
+Stands in for the Altera/Maxeler toolchain of the paper's evaluation; see
+DESIGN.md for the substitution rationale. The estimator is validated
+against this module's post-place-and-route reports.
+"""
+
+from .netlist import Netlist, asap_schedule, expand
+from .report import SynthReport
+from .synthesis import design_fingerprint, synthesize
+from .timing import achieved_fmax_hz, design_max_stage_ns, meets_clock
+
+__all__ = [
+    "Netlist",
+    "SynthReport",
+    "achieved_fmax_hz",
+    "asap_schedule",
+    "design_fingerprint",
+    "design_max_stage_ns",
+    "expand",
+    "meets_clock",
+    "synthesize",
+]

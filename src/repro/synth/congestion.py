@@ -1,0 +1,37 @@
+"""Design-level congestion metric driving routing and duplication models.
+
+Real place-and-route effort grows with netlist size, fanout, memory bank
+count, and nesting depth; this deterministic scalar summarizes those so the
+global passes (routing LUT insertion, duplication, fragmentation) scale the
+way the paper describes (Section IV-A).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+
+def compute_congestion(stats: Dict[str, float]) -> float:
+    """A dimensionless congestion factor, roughly in [0.5, 2.5]."""
+    wires = stats.get("total_wires", 0.0)
+    banks = stats.get("total_banks", 1.0)
+    depth = stats.get("max_depth", 1.0)
+    atoms = stats.get("num_atoms", 1.0)
+    transfers = stats.get("num_tile_transfers", 0.0)
+
+    c = 0.55
+    c += 0.16 * math.log10(1.0 + wires / 2.0e4)
+    c += 0.10 * math.log10(1.0 + banks)
+    c += 0.05 * (depth - 1.0)
+    c += 0.06 * math.log10(1.0 + atoms)
+    c += 0.04 * math.log10(1.0 + transfers)
+    return min(max(c, 0.4), 2.5)
+
+
+def fragmentation(stats: Dict[str, float]) -> float:
+    """LAB fragmentation factor: many small modules fragment placement."""
+    atoms = stats.get("num_atoms", 1.0)
+    luts = max(stats.get("raw_luts", 1.0), 1.0)
+    granularity = atoms * 60.0 / luts
+    return min(max(0.75 + 0.35 * granularity, 0.6), 1.8)

@@ -1,0 +1,35 @@
+"""Logic duplication models (paper Section IV-A).
+
+Synthesis tools duplicate registers and block RAMs to reduce fanout and
+avoid routing congestion. The paper reports duplicated registers around 5%
+of total registers, while BRAM duplication ranges from 10% to 100%
+depending on design complexity and is "inherently noisy" — more complex
+ML models failed to beat a simple linear fit (Section V-B).
+"""
+
+from __future__ import annotations
+
+REG_DUP_BASE = 0.048
+BRAM_DUP_BASE = 0.07
+BRAM_DUP_SLOPE = 0.55
+
+
+def duplicated_regs(regs: float, congestion: float, rng) -> float:
+    """Registers duplicated for fanout reduction."""
+    fraction = REG_DUP_BASE * (0.6 + 0.4 * congestion)
+    fraction *= 1.0 + float(rng.normal(0.0, 0.08))
+    return max(fraction, 0.0) * regs
+
+
+def duplicated_brams(
+    brams: float, routing_fraction: float, congestion: float, rng
+) -> float:
+    """Block RAMs duplicated to ease routing.
+
+    The duplication fraction grows with routing pressure (the paper's
+    linear-in-routing-LUTs observation) and carries substantial noise.
+    """
+    fraction = BRAM_DUP_BASE + BRAM_DUP_SLOPE * routing_fraction * congestion * 4.0
+    fraction = min(max(fraction, 0.03), 1.0)
+    fraction *= max(1.0 + float(rng.normal(0.0, 0.30)), 0.1)
+    return fraction * brams

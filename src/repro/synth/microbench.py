@@ -1,0 +1,81 @@
+"""Characterization microbenchmarks: synthesize one template in isolation.
+
+The paper obtains characterization data "by synthesizing multiple instances
+of each template instantiated for combinations of its parameters" (Section
+IV-B); most templates need about six synthesized designs. This module is
+that interface against our synthesis substrate: given a template kind and a
+concrete parameter assignment, it returns the post-synthesis resource count
+of that single template instance, isolated from scaffolding.
+
+The estimator consumes only the numbers returned here — it never reads the
+substrate's internal cost tables — so its template models carry genuine
+fitting error, as in the paper.
+"""
+
+from __future__ import annotations
+
+from ..ir.types import Bool, FixPt, FltPt, HWType
+from ..target.device import STRATIX_V, Device
+from . import atoms as at
+
+
+def _type_for(family: str, bits: int) -> HWType:
+    if family == "flt":
+        # bits = mantissa + exponent; standard single/double splits.
+        return FltPt(24, 8) if bits <= 32 else FltPt(53, 11)
+    if family == "bit":
+        return Bool
+    return FixPt(True, bits, 0)
+
+
+def characterize(kind: str, device: Device = STRATIX_V, **params) -> at.Atom:
+    """Synthesize one template instance and report its resources.
+
+    ``kind`` selects the template family; ``params`` are the Table I
+    parameters for that family. Unknown kinds raise ``KeyError``.
+    """
+    if kind == "prim":
+        tp = _type_for(params["family"], params.get("bits", 32))
+        return at.prim_cost(params["op"], tp, params.get("width", 1))
+    if kind == "load":
+        return at.load_cost(
+            params["bits"], params.get("width", 1), params.get("banks", 1)
+        )
+    if kind == "store":
+        return at.store_cost(
+            params["bits"], params.get("width", 1), params.get("banks", 1)
+        )
+    if kind == "counter":
+        return at.counter_cost(params.get("ndims", 1), params.get("par", 1))
+    if kind == "pipe":
+        return at.pipe_control_cost(params.get("n", 1))
+    if kind == "metapipe":
+        return at.metapipe_control_cost(params.get("n", 1))
+    if kind == "sequential":
+        return at.sequential_control_cost(params.get("n", 1))
+    if kind == "parallel":
+        return at.parallel_control_cost(params.get("n", 1))
+    if kind == "tile_transfer":
+        return at.tile_transfer_cost(
+            params["bits"],
+            params.get("par", 1),
+            params.get("num_commands", 1),
+            params.get("is_load", True),
+        )
+    if kind == "bram":
+        return at.bram_cost(
+            params["words"],
+            params["bits"],
+            params.get("banks", 1),
+            params.get("double", False),
+            device.bram_blocks_for,
+        )
+    if kind == "reg":
+        return at.reg_cost(params["bits"], params.get("double", False))
+    if kind == "pqueue":
+        return at.pqueue_cost(
+            params["depth"], params["bits"], params.get("double", False)
+        )
+    if kind == "delay_bram":
+        return at.delay_cost(params["bit_cycles"], True, device.bram_blocks_for)
+    raise KeyError(f"unknown template kind {kind!r}")

@@ -1,0 +1,17 @@
+"""Placement fragmentation model (paper Section IV-A).
+
+FPGA resources are organized hierarchically (Altera LABs of 10 ALMs);
+mapping constraints render some LUTs unusable — about 4% of total LUT
+usage in the paper's experiments.
+"""
+
+from __future__ import annotations
+
+UNAVAILABLE_BASE = 0.038
+
+
+def unavailable_luts(total_luts: float, frag: float, rng) -> float:
+    """LUTs rendered unusable by LAB mapping constraints."""
+    fraction = UNAVAILABLE_BASE * frag
+    fraction *= 1.0 + float(rng.normal(0.0, 0.06))
+    return max(fraction, 0.0) * total_luts

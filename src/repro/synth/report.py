@@ -1,0 +1,77 @@
+"""Post-place-and-route report datatype.
+
+This is the substrate's equivalent of the report the paper extracts from
+Altera's toolchain (Section V-A): per-resource utilization plus the
+breakdown of low-level effects (Section IV-A) used by the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..target.device import Device
+
+
+@dataclass
+class SynthReport:
+    """Resource utilization after (simulated) logic synthesis and P&R."""
+
+    design_name: str
+    device: Device
+
+    # Final totals
+    alms: int = 0
+    dsps: int = 0
+    brams: int = 0
+    regs: int = 0
+
+    # Breakdown of low-level effects (paper Section IV-A)
+    raw_luts_packable: int = 0
+    raw_luts_unpackable: int = 0
+    routing_luts: int = 0
+    duplicated_regs: int = 0
+    duplicated_brams: int = 0
+    unavailable_luts: int = 0
+    packed_fraction: float = 0.0
+
+    # Netlist-level statistics (inputs to estimator training)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_luts(self) -> int:
+        """All LUTs including routing and unavailable."""
+        return (
+            self.raw_luts_packable
+            + self.raw_luts_unpackable
+            + self.routing_luts
+            + self.unavailable_luts
+        )
+
+    @property
+    def alm_util(self) -> float:
+        return self.alms / self.device.alms
+
+    @property
+    def dsp_util(self) -> float:
+        return self.dsps / self.device.dsps
+
+    @property
+    def bram_util(self) -> float:
+        return self.brams / self.device.bram_blocks
+
+    def fits(self) -> bool:
+        """Whether the design fits on the device."""
+        return (
+            self.alms <= self.device.alms
+            and self.dsps <= self.device.dsps
+            and self.brams <= self.device.bram_blocks
+        )
+
+    def utilization(self) -> Dict[str, float]:
+        """Utilization fraction per device resource class."""
+        return {
+            "alms": self.alm_util,
+            "dsps": self.dsp_util,
+            "brams": self.bram_util,
+        }

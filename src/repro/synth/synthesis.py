@@ -1,0 +1,107 @@
+"""The synthesis substrate's top-level entry point.
+
+``synthesize(design)`` plays the role of the vendor toolchain: netlist
+expansion with ground-truth template costs and low-level optimizations,
+followed by the global place-and-route effects of Section IV-A — routing
+LUT insertion, register and BRAM duplication, LAB fragmentation, and LUT
+packing. Per-design variation is deterministic: the noise RNG is seeded
+from a structural hash of the design, so repeated synthesis of the same
+design instance returns identical reports (like rerunning a deterministic
+toolchain), while different design points see independent draws.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..ir.graph import Design
+from ..target.board import MAIA, Board
+from .congestion import compute_congestion, fragmentation
+from .duplication import duplicated_brams, duplicated_regs
+from .lutpack import pack_luts
+from .netlist import Netlist, expand
+from .placement import unavailable_luts
+from .report import SynthReport
+from .routing import routing_luts
+
+
+def design_fingerprint(design: Design) -> int:
+    """A stable structural hash of a design instance."""
+    parts = [design.name]
+    for node in design.nodes:
+        parts.append(node.kind)
+        parts.append(node.name)
+        par = getattr(node, "par", None)
+        if par is not None:
+            parts.append(str(par))
+        dims = getattr(node, "dims", None)
+        if dims is not None:
+            parts.append(str(dims))
+    digest = hashlib.md5("|".join(parts).encode()).hexdigest()
+    return int(digest[:12], 16)
+
+
+def synthesize(design: Design, board: Board = MAIA, seed: int = 0) -> SynthReport:
+    """Run the full (simulated) synthesis + place-and-route flow."""
+    device = board.device
+    netlist = expand(design, device)
+    rng = np.random.default_rng(design_fingerprint(design) ^ (seed * 0x9E3779B9))
+
+    total = netlist.totals()
+    congestion = compute_congestion(netlist.stats)
+    frag = fragmentation(netlist.stats)
+
+    # The toolchain demotes a few multipliers from DSP blocks into logic
+    # (constant operands, narrow products, DSP column placement) — an
+    # effect the template-level estimator over-predicts, especially at low
+    # DSP utilization (the paper's outerprod case).
+    dsps = total.dsps
+    demoted = 0.0
+    if dsps > 0:
+        demote_frac = min(abs(float(rng.normal(0.05, 0.04))), 0.35)
+        demoted = np.floor(dsps * demote_frac)
+        dsps -= demoted
+
+    logic_luts = total.luts + demoted * 46.0
+    route = routing_luts(logic_luts, congestion, rng)
+    dup_regs = duplicated_regs(total.regs, congestion, rng)
+    routing_fraction = route / max(logic_luts, 1.0)
+    dup_brams = duplicated_brams(total.brams, routing_fraction, congestion, rng)
+    unavailable = unavailable_luts(logic_luts + route, frag, rng)
+
+    # Route-through LUTs are small functions: always packable (paper IV-B2).
+    packable = total.luts_packable + route + demoted * 46.0 * 0.6
+    unpackable = total.luts_unpackable + demoted * 46.0 * 0.4
+    lut_units, pack_rate = pack_luts(
+        packable, unpackable, device.lut_pack_rate, rng
+    )
+    lut_units += unavailable
+
+    total_regs = total.regs + dup_regs
+    # Each ALM offers two registers alongside its LUT; registers beyond
+    # what the logic ALMs provide occupy additional (register-only) ALMs.
+    extra_reg_alms = max(0.0, total_regs - device.regs_per_alm * lut_units)
+    extra_reg_alms /= device.regs_per_alm
+    alms = lut_units + extra_reg_alms
+
+    report = SynthReport(
+        design_name=design.name,
+        device=device,
+        alms=int(round(alms)),
+        dsps=int(round(dsps)),
+        brams=int(round(total.brams + dup_brams)),
+        regs=int(round(total_regs)),
+        raw_luts_packable=int(round(total.luts_packable)),
+        raw_luts_unpackable=int(round(total.luts_unpackable)),
+        routing_luts=int(round(route)),
+        duplicated_regs=int(round(dup_regs)),
+        duplicated_brams=int(round(dup_brams)),
+        unavailable_luts=int(round(unavailable)),
+        packed_fraction=pack_rate,
+        stats=dict(netlist.stats),
+    )
+    report.stats["congestion"] = congestion
+    report.stats["fragmentation"] = frag
+    return report

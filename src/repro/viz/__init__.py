@@ -1,0 +1,6 @@
+"""Visualization: dependency-free SVG regeneration of the paper's figures."""
+
+from .figure5 import figure5_panel, write_figure5_row
+from .svg import ScatterPlot, Series
+
+__all__ = ["ScatterPlot", "Series", "figure5_panel", "write_figure5_row"]

@@ -1,0 +1,83 @@
+"""Regenerate the paper's Figure 5 panels as SVG images.
+
+Each benchmark contributes a row of three scatter panels — estimated
+cycles (log scale) against %ALM, %DSP, and %BRAM utilization — with the
+paper's three point classes: valid designs, invalid designs (exceeding the
+device), and Pareto-optimal designs highlighted.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..dse.explorer import ExplorationResult
+from ..target.device import Device
+from .svg import ScatterPlot
+
+# Paper-style classes: valid (grey), invalid (red), Pareto (blue).
+VALID_COLOR = "#9aa0a6"
+INVALID_COLOR = "#d93025"
+PARETO_COLOR = "#1a73e8"
+
+def _utilization(point, resource: str, device: Device) -> float:
+    caps = {
+        "alms": device.alms,
+        "dsps": device.dsps,
+        "brams": device.bram_blocks,
+    }
+    values = {
+        "alms": point.estimate.alms,
+        "dsps": point.estimate.dsps,
+        "brams": point.estimate.brams,
+    }
+    return 100.0 * values[resource] / caps[resource]
+
+
+def figure5_panel(
+    result: ExplorationResult, resource: str, device: Device
+) -> ScatterPlot:
+    """One Figure 5 panel: cycles (log) vs one resource's utilization."""
+    labels = {"alms": "ALM", "dsps": "DSP", "brams": "BRAM"}
+    plot = ScatterPlot(
+        title=f"{result.benchmark} — {labels[resource]}",
+        x_label=f"{labels[resource]} (% of maximum)",
+        y_label="Cycles (log scale)",
+        log_y=True,
+        x_range=(0.0, 120.0),
+    )
+    pareto_ids = {id(p) for p in result.pareto}
+    valid, invalid, pareto = [], [], []
+    for point in result.points:
+        xy = (
+            min(_utilization(point, resource, device), 120.0),
+            max(point.cycles, 1.0),
+        )
+        if id(point) in pareto_ids:
+            pareto.append(xy)
+        elif point.valid:
+            valid.append(xy)
+        else:
+            invalid.append(xy)
+    plot.add_series("valid", valid, VALID_COLOR, radius=1.6, opacity=0.55)
+    plot.add_series("invalid", invalid, INVALID_COLOR, radius=1.6,
+                    opacity=0.55)
+    plot.add_series("Pareto", pareto, PARETO_COLOR, radius=2.6, opacity=1.0)
+    return plot
+
+
+def write_figure5_row(
+    result: ExplorationResult,
+    device: Device,
+    out_dir: Union[str, Path],
+) -> List[Path]:
+    """Write the three panels for one benchmark; returns the file paths."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for resource in ("alms", "dsps", "brams"):
+        plot = figure5_panel(result, resource, device)
+        path = out_dir / f"figure5_{result.benchmark}_{resource}.svg"
+        path.write_text(plot.render())
+        paths.append(path)
+    return paths

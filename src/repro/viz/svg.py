@@ -1,0 +1,177 @@
+"""A minimal dependency-free SVG scatter-plot writer.
+
+Just enough plotting to regenerate the paper's Figure 5 panels (log-scale
+cycles vs. resource utilization, three point classes) without matplotlib:
+axes with ticks, point markers, and a legend. Output is a standalone
+``.svg`` file viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+
+@dataclass
+class Series:
+    """One styled collection of scatter points."""
+
+    label: str
+    points: List[Point]
+    color: str
+    radius: float = 2.0
+    opacity: float = 0.8
+
+
+@dataclass
+class ScatterPlot:
+    """A single scatter panel with a log-scale y axis option."""
+
+    title: str
+    x_label: str
+    y_label: str
+    width: int = 420
+    height: int = 300
+    log_y: bool = False
+    x_range: Optional[Tuple[float, float]] = None
+    series: List[Series] = field(default_factory=list)
+
+    MARGIN_L = 56
+    MARGIN_R = 12
+    MARGIN_T = 28
+    MARGIN_B = 40
+
+    def add_series(
+        self, label: str, points: Sequence[Point], color: str,
+        radius: float = 2.0, opacity: float = 0.8,
+    ) -> None:
+        """Add one class of points (e.g. valid / invalid / Pareto)."""
+        self.series.append(Series(label, list(points), color, radius, opacity))
+
+    # -- scales ---------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        xs = [p[0] for s in self.series for p in s.points] or [0.0, 1.0]
+        ys = [p[1] for s in self.series for p in s.points] or [1.0, 10.0]
+        x_lo, x_hi = (self.x_range if self.x_range
+                      else (min(xs), max(xs) or 1.0))
+        if x_hi <= x_lo:
+            x_hi = x_lo + 1.0
+        y_lo, y_hi = min(ys), max(ys)
+        if self.log_y:
+            y_lo = max(y_lo, 1.0)
+            y_hi = max(y_hi, y_lo * 10)
+        elif y_hi <= y_lo:
+            y_hi = y_lo + 1.0
+        return x_lo, x_hi, y_lo, y_hi
+
+    def _to_px(self, x: float, y: float, bounds) -> Tuple[float, float]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        plot_w = self.width - self.MARGIN_L - self.MARGIN_R
+        plot_h = self.height - self.MARGIN_T - self.MARGIN_B
+        fx = (x - x_lo) / (x_hi - x_lo)
+        if self.log_y:
+            fy = (math.log10(max(y, y_lo)) - math.log10(y_lo)) / (
+                math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            fy = (y - y_lo) / (y_hi - y_lo)
+        px = self.MARGIN_L + fx * plot_w
+        py = self.MARGIN_T + (1.0 - fy) * plot_h
+        return px, py
+
+    # -- rendering -------------------------------------------------------------
+    def render(self) -> str:
+        """The panel as a standalone SVG document."""
+        bounds = self._bounds()
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'font-family="sans-serif" font-size="10">',
+            f'<rect width="{self.width}" height="{self.height}" '
+            'fill="white"/>',
+            f'<text x="{self.width / 2}" y="16" text-anchor="middle" '
+            f'font-size="12">{self.title}</text>',
+        ]
+        parts += self._render_axes(bounds)
+        for s in self.series:
+            for x, y in s.points:
+                px, py = self._to_px(x, y, bounds)
+                parts.append(
+                    f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{s.radius}" '
+                    f'fill="{s.color}" fill-opacity="{s.opacity}"/>'
+                )
+        parts += self._render_legend()
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def _render_axes(self, bounds) -> List[str]:
+        x_lo, x_hi, y_lo, y_hi = bounds
+        left, top = self.MARGIN_L, self.MARGIN_T
+        right = self.width - self.MARGIN_R
+        bottom = self.height - self.MARGIN_B
+        parts = [
+            f'<line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" '
+            'stroke="black"/>',
+            f'<line x1="{left}" y1="{top}" x2="{left}" y2="{bottom}" '
+            'stroke="black"/>',
+            f'<text x="{(left + right) / 2}" y="{self.height - 8}" '
+            f'text-anchor="middle">{self.x_label}</text>',
+            f'<text x="14" y="{(top + bottom) / 2}" text-anchor="middle" '
+            f'transform="rotate(-90 14 {(top + bottom) / 2})">'
+            f'{self.y_label}</text>',
+        ]
+        for i in range(5):  # x ticks
+            frac = i / 4
+            x_val = x_lo + frac * (x_hi - x_lo)
+            px, _ = self._to_px(x_val, y_lo, bounds)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{bottom}" x2="{px:.1f}" '
+                f'y2="{bottom + 4}" stroke="black"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{bottom + 15}" '
+                f'text-anchor="middle">{x_val:.0f}</text>'
+            )
+        if self.log_y:
+            decade_lo = math.floor(math.log10(max(y_lo, 1.0)))
+            decade_hi = math.ceil(math.log10(y_hi))
+            for d in range(decade_lo, decade_hi + 1):
+                y_val = 10.0**d
+                if not (y_lo <= y_val <= y_hi):
+                    continue
+                _, py = self._to_px(x_lo, y_val, bounds)
+                parts.append(
+                    f'<line x1="{left - 4}" y1="{py:.1f}" x2="{left}" '
+                    f'y2="{py:.1f}" stroke="black"/>'
+                )
+                parts.append(
+                    f'<text x="{left - 6}" y="{py + 3:.1f}" '
+                    f'text-anchor="end">1e{d}</text>'
+                )
+        else:
+            for i in range(5):
+                frac = i / 4
+                y_val = y_lo + frac * (y_hi - y_lo)
+                _, py = self._to_px(x_lo, y_val, bounds)
+                parts.append(
+                    f'<text x="{left - 6}" y="{py + 3:.1f}" '
+                    f'text-anchor="end">{y_val:.3g}</text>'
+                )
+        return parts
+
+    def _render_legend(self) -> List[str]:
+        parts = []
+        x = self.width - self.MARGIN_R - 110
+        y = self.MARGIN_T + 6
+        for s in self.series:
+            parts.append(
+                f'<circle cx="{x}" cy="{y}" r="3" fill="{s.color}"/>'
+            )
+            parts.append(
+                f'<text x="{x + 8}" y="{y + 3}">{s.label}</text>'
+            )
+            y += 13
+        return parts

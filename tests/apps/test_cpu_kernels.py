@@ -1,0 +1,99 @@
+"""Tests for the numpy reference kernels and the CPU performance model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import XEON_E5_2630, kernels
+from repro.cpu.model import CPUModel
+
+
+class TestKernels:
+    def test_dotproduct(self):
+        a, b = np.array([1.0, 2.0, 3.0]), np.array([4.0, 5.0, 6.0])
+        assert kernels.dotproduct(a, b) == 32.0
+
+    def test_outerprod_shape_and_values(self):
+        out = kernels.outerprod(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        np.testing.assert_allclose(out, [[3, 4], [6, 8]])
+
+    def test_gemm_matches_numpy(self, rng):
+        a, b = rng.normal(size=(5, 7)), rng.normal(size=(7, 3))
+        np.testing.assert_allclose(kernels.gemm(a, b), a @ b)
+
+    def test_tpchq6_filter_band(self):
+        q = np.array([10.0, 30.0, 10.0])
+        p = np.array([100.0, 100.0, 100.0])
+        d = np.array([0.06, 0.06, 0.20])
+        s = np.array([19940601.0, 19940601.0, 19940601.0])
+        # Only the first record passes (qty < 24, discount in band).
+        assert kernels.tpchq6(q, p, d, s) == pytest.approx(6.0)
+
+    def test_blackscholes_against_closed_form_point(self):
+        # Standard textbook check: S=100, K=100, r=5%, v=20%, T=1.
+        call, put = kernels.blackscholes(
+            np.array([100.0]), np.array([100.0]), np.array([0.05]),
+            np.array([0.2]), np.array([1.0]),
+        )
+        assert call[0] == pytest.approx(10.4506, abs=2e-3)
+        assert put[0] == pytest.approx(5.5735, abs=2e-3)
+
+    def test_blackscholes_put_call_parity(self, rng):
+        s = rng.uniform(50, 150, 20)
+        k = rng.uniform(50, 150, 20)
+        r = rng.uniform(0.01, 0.1, 20)
+        v = rng.uniform(0.1, 0.5, 20)
+        t = rng.uniform(0.1, 2.0, 20)
+        call, put = kernels.blackscholes(s, k, r, v, t)
+        np.testing.assert_allclose(
+            call - put, s - k * np.exp(-r * t), rtol=1e-9
+        )
+
+    def test_gda_is_symmetric_psd(self, rng):
+        x = rng.normal(size=(50, 6))
+        y = rng.integers(0, 2, 50).astype(float)
+        sigma = kernels.gda(x, y, rng.normal(size=6), rng.normal(size=6))
+        np.testing.assert_allclose(sigma, sigma.T)
+        eigs = np.linalg.eigvalsh(sigma)
+        assert eigs.min() > -1e-9
+
+    def test_kmeans_assignment_to_nearest(self):
+        points = np.array([[0.0, 0.0], [10.0, 10.0]])
+        cents = np.array([[1.0, 1.0], [9.0, 9.0]])
+        step = kernels.kmeans_step(points, cents)
+        np.testing.assert_array_equal(step["assign"], [0, 1])
+        np.testing.assert_allclose(step["centroids"], points)
+
+    def test_kmeans_empty_cluster_keeps_zero(self):
+        points = np.zeros((4, 2))
+        cents = np.array([[0.0, 0.0], [100.0, 100.0]])
+        step = kernels.kmeans_step(points, cents)
+        assert step["counts"][1] == 0
+        np.testing.assert_allclose(step["centroids"][1], [0.0, 0.0])
+
+
+class TestCPUModel:
+    def test_peak_flops_sandy_bridge(self):
+        # 6 cores x 2.3 GHz x 8 SP lanes x (mul + add) = 220.8 GFLOP/s.
+        assert XEON_E5_2630.peak_flops == pytest.approx(220.8e9)
+
+    def test_memory_time_write_allocate_doubles_writes(self):
+        cpu = XEON_E5_2630
+        rfo = cpu.memory_time(0, 1e9, write_allocate=True)
+        nt = cpu.memory_time(0, 1e9, write_allocate=False)
+        assert rfo == pytest.approx(2 * nt)
+
+    def test_roofline_takes_max(self):
+        cpu = XEON_E5_2630
+        compute_bound = cpu.roofline(1e12, 1e6)
+        memory_bound = cpu.roofline(1e6, 1e11)
+        assert compute_bound > cpu.compute_time(1e12, 0.5) * 0.99
+        assert memory_bound > cpu.memory_time(1e11) * 0.99
+
+    def test_zero_work_just_overhead(self):
+        assert XEON_E5_2630.roofline(0, 0) == pytest.approx(
+            XEON_E5_2630.threading_overhead()
+        )
+
+    def test_custom_cpu(self):
+        small = CPUModel(cores=1, simd_f32=4)
+        assert small.peak_flops < XEON_E5_2630.peak_flops

@@ -1,0 +1,75 @@
+"""Tests for the extension applications (histogram, knn)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps.extras import all_extras, get_extra
+from repro.sim import FunctionalSim
+from repro.synth import synthesize
+
+
+@pytest.mark.parametrize("bench", all_extras(), ids=lambda b: b.name)
+class TestExtras:
+    def test_functional_default_point(self, bench, rng):
+        ds = bench.small_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        inputs = bench.generate_inputs(ds, rng)
+        outputs = FunctionalSim(design).run(inputs)
+        assert bench.check_outputs(outputs, bench.reference(inputs, ds))
+
+    def test_results_invariant_across_points(self, bench, rng):
+        ds = bench.small_dataset()
+        space = bench.param_space(ds)
+        inputs = bench.generate_inputs(ds, rng)
+        expected = bench.reference(inputs, ds)
+        for params in space.sample(random.Random(2), 3):
+            design = bench.build(ds, **params)
+            outputs = FunctionalSim(design).run(inputs)
+            assert bench.check_outputs(outputs, expected), params
+
+    def test_estimable_and_synthesizable(self, bench, estimator):
+        ds = bench.default_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        est = estimator.estimate(design)
+        assert est.fits()
+        assert synthesize(design).alms > 0
+
+    def test_explorable(self, bench, estimator):
+        from repro.dse import explore
+
+        result = explore(bench, estimator, max_points=30, seed=1)
+        assert result.best is not None
+
+    def test_cpu_time_positive(self, bench):
+        assert 0 < bench.cpu_time(bench.default_dataset()) < 60
+
+
+def test_histogram_bins_sum_to_n(rng):
+    bench = get_extra("histogram")
+    ds = bench.small_dataset()
+    design = bench.build(ds, **bench.default_params(ds))
+    inputs = bench.generate_inputs(ds, rng)
+    out = FunctionalSim(design).run(inputs)
+    assert out["counts"].sum() == ds["n"]
+
+
+def test_knn_returns_sorted_distances(rng):
+    bench = get_extra("knn")
+    ds = bench.small_dataset()
+    design = bench.build(ds, **bench.default_params(ds))
+    inputs = bench.generate_inputs(ds, rng)
+    out = FunctionalSim(design).run(inputs)
+    nearest = np.asarray(out["nearest"])
+    assert (np.diff(nearest) >= 0).all()
+    assert (nearest >= 0).all()
+
+
+def test_extras_not_in_paper_registry():
+    """The Table II experiment set must stay exactly the paper's seven."""
+    from repro.apps import all_benchmarks
+
+    names = {b.name for b in all_benchmarks()}
+    assert "histogram" not in names and "knn" not in names
+    assert len(names) == 7

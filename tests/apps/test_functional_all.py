@@ -1,0 +1,125 @@
+"""Functional validation: every benchmark's DHDL design vs numpy golden.
+
+This is the correctness backbone of the reproduction: each Table II
+benchmark, built at several design points, must compute exactly what the
+reference kernel computes — parallelization factors and MetaPipe toggles
+are performance parameters and must never change results.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks, get_benchmark
+from repro.sim import FunctionalSim
+
+
+@pytest.mark.parametrize(
+    "bench", all_benchmarks(), ids=lambda b: b.name
+)
+def test_default_point_matches_reference(bench, rng):
+    ds = bench.small_dataset()
+    params = bench.default_params(ds)
+    design = bench.build(ds, **params)
+    inputs = bench.generate_inputs(ds, rng)
+    outputs = FunctionalSim(design).run(inputs)
+    expected = bench.reference(inputs, ds)
+    assert bench.check_outputs(outputs, expected)
+
+
+@pytest.mark.parametrize(
+    "bench", all_benchmarks(), ids=lambda b: b.name
+)
+def test_results_invariant_across_design_points(bench, rng):
+    """Different legal parameter points must give identical results."""
+    import random
+
+    ds = bench.small_dataset()
+    space = bench.param_space(ds)
+    points = space.sample(random.Random(7), 3)
+    assert points, f"no legal points for {bench.name} at small dataset"
+    inputs = bench.generate_inputs(ds, rng)
+    expected = bench.reference(inputs, ds)
+    for params in points:
+        design = bench.build(ds, **params)
+        outputs = FunctionalSim(design).run(inputs)
+        assert bench.check_outputs(outputs, expected), (
+            f"{bench.name} wrong at {params}"
+        )
+
+
+def test_dotproduct_known_value():
+    bench = get_benchmark("dotproduct")
+    ds = {"n": 16}
+    design = bench.build(ds, tile=8, par_load=2, par_inner=2, metapipe=True)
+    a = np.ones(16)
+    b = np.full(16, 2.0)
+    out = FunctionalSim(design).run({"a": a, "b": b})
+    assert out["out"] == pytest.approx(32.0)
+
+
+def test_gemm_identity_matrix():
+    bench = get_benchmark("gemm")
+    ds = {"m": 8, "n": 8, "k": 8}
+    design = bench.build(
+        ds, tile_m=8, tile_n=8, tile_k=8, par_k=2, par_n=2, par_mem=4,
+        mp_ij=True, mp_k=True, mp_rows=True,
+    )
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(8, 8))
+    out = FunctionalSim(design).run({"a": a, "b": np.eye(8)})
+    np.testing.assert_allclose(out["c"], a, rtol=1e-9)
+
+
+def test_tpchq6_all_records_filtered_out():
+    bench = get_benchmark("tpchq6")
+    ds = {"n": 32}
+    design = bench.build(ds, tile=16, par=2, par_mem=4, metapipe=True)
+    inputs = {
+        "quantity": np.full(32, 50.0),  # all exceed the quantity cap
+        "price": np.full(32, 100.0),
+        "discount": np.full(32, 0.06),
+        "shipdate": np.full(32, 19940601.0),
+    }
+    out = FunctionalSim(design).run(inputs)
+    assert out["revenue"] == 0.0
+
+
+def test_blackscholes_put_call_parity(rng):
+    bench = get_benchmark("blackscholes")
+    ds = bench.small_dataset()
+    design = bench.build(ds, **bench.default_params(ds))
+    inputs = bench.generate_inputs(ds, rng)
+    out = FunctionalSim(design).run(inputs)
+    s, k = inputs["spot"], inputs["strike"]
+    r, t = inputs["rate"], inputs["time"]
+    parity = np.asarray(out["call"]) - np.asarray(out["put"])
+    np.testing.assert_allclose(
+        parity, s - k * np.exp(-r * t), rtol=1e-6, atol=1e-6
+    )
+
+
+def test_kmeans_empty_cluster_safe():
+    bench = get_benchmark("kmeans")
+    ds = {"points": 8, "k": 2, "dim": 4}
+    design = bench.build(
+        ds, tile_points=8, par_dist=2, par_acc=2, par_pt=1, par_mem=4,
+        mp_tiles=True, mp_point=True,
+    )
+    points = np.zeros((8, 4))
+    cents = np.stack([np.zeros(4), np.full(4, 100.0)])  # cluster 1 empty
+    out = FunctionalSim(design).run({"x": points, "centroids": cents})
+    expected = bench.reference({"x": points, "centroids": cents}, ds)
+    np.testing.assert_allclose(out["newcents"], expected["newcents"])
+
+
+def test_gda_balanced_labels(rng):
+    bench = get_benchmark("gda")
+    ds = {"rows": 16, "cols": 4}
+    design = bench.build(
+        ds, tile_rows=8, par_sub=2, par_outer=4, par_row=1, par_mem=4,
+        m1=True, m2=True,
+    )
+    inputs = bench.generate_inputs(ds, rng)
+    out = FunctionalSim(design).run(inputs)
+    expected = bench.reference(inputs, ds)
+    np.testing.assert_allclose(out["sigma"], expected["sigma"], rtol=1e-9)

@@ -1,0 +1,96 @@
+"""Tests for benchmark parameter spaces, datasets, and pruning rules."""
+
+import random
+
+import pytest
+
+from repro.apps import MAX_TILE_WORDS, all_benchmarks, get_benchmark
+from repro.params import divisors
+
+# Dataset sizes straight from Table II.
+TABLE_II = {
+    "dotproduct": {"n": 187_200_000},
+    "outerprod": {"na": 38_400, "nb": 38_400},
+    "gemm": {"m": 1536, "n": 1536, "k": 1536},
+    "tpchq6": {"n": 18_720_000},
+    "blackscholes": {"n": 9_995_328},
+    "gda": {"rows": 360_000, "cols": 96},
+    "kmeans": {"points": 960_000, "k": 8, "dim": 384},
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE_II))
+def test_datasets_match_table_ii(name):
+    assert get_benchmark(name).default_dataset() == TABLE_II[name]
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_default_params_are_legal(bench):
+    for dataset in (bench.default_dataset(), bench.small_dataset()):
+        space = bench.param_space(dataset)
+        params = bench.default_params(dataset)
+        assert set(params) == set(space.names)
+        assert space.is_legal(params), f"{bench.name} defaults illegal"
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_sampled_points_build(bench, estimator):
+    """Every sampled legal point must produce a valid design instance."""
+    ds = bench.default_dataset()
+    space = bench.param_space(ds)
+    for params in space.sample(random.Random(3), 12):
+        design = bench.build(ds, **params)
+        assert design.finalized
+        estimate = estimator.estimate(design)
+        assert estimate.cycles > 0
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_tile_sizes_are_divisors(bench):
+    """Paper IV-C: tile sizes considered are divisors of the data dims."""
+    ds = bench.default_dataset()
+    space = bench.param_space(ds)
+    tile_params = [p for p in space.params if p.name.startswith("tile")]
+    assert tile_params
+    dims = list(ds.values())
+    for param in tile_params:
+        assert all(
+            any(dim % candidate == 0 for dim in dims)
+            for candidate in param.candidates
+        )
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_space_is_large(bench):
+    """The paper explores spaces of up to millions of points."""
+    space = bench.param_space(bench.default_dataset())
+    assert space.cardinality >= 1000
+
+
+def test_kmeans_tile_respects_buffer_cap():
+    bench = get_benchmark("kmeans")
+    ds = bench.default_dataset()
+    space = bench.param_space(ds)
+    tile_param = next(p for p in space.params if p.name == "tile_points")
+    assert all(t * ds["dim"] <= MAX_TILE_WORDS for t in tile_param.candidates)
+
+
+def test_outerprod_quadratic_buffer_constraint():
+    bench = get_benchmark("outerprod")
+    ds = bench.default_dataset()
+    space = bench.param_space(ds)
+    for params in space.sample(random.Random(0), 50):
+        assert params["tile_a"] * params["tile_b"] <= MAX_TILE_WORDS
+
+
+def test_cpu_times_positive_and_finite():
+    for bench in all_benchmarks():
+        t = bench.cpu_time(bench.default_dataset())
+        assert 0 < t < 60
+
+
+def test_flops_reported():
+    assert get_benchmark("gemm").flops(TABLE_II["gemm"]) == pytest.approx(
+        2 * 1536**3
+    )
+    assert get_benchmark("gda").flops(TABLE_II["gda"]) > 0

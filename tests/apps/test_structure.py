@@ -1,0 +1,178 @@
+"""Structural expectations for each benchmark's generated hardware.
+
+Checks that the design instances have the architecture the paper
+describes: the right controller nesting, inferred banking that matches
+parallelization, double buffering across MetaPipe stages, and monotone
+area scaling along each parallelization axis.
+"""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.ir import BRAM, MetaPipe, Parallel, Pipe, Sequential, TileLd, TileSt
+
+
+def build(name, **overrides):
+    bench = get_benchmark(name)
+    ds = bench.default_dataset()
+    params = bench.default_params(ds)
+    params.update(overrides)
+    return bench.build(ds, **params), params
+
+
+def mems_by_name(design):
+    return {m.name: m for m in design.onchip_mems()}
+
+
+class TestDotProduct:
+    def test_two_parallel_loads(self):
+        design, _ = build("dotproduct")
+        par = next(c for c in design.controllers()
+                   if isinstance(c, Parallel))
+        assert sum(1 for s in par.stages if isinstance(s, TileLd)) == 2
+
+    def test_banking_matches_inner_par(self):
+        design, params = build("dotproduct", par_inner=16, par_load=4)
+        mems = mems_by_name(design)
+        assert mems["aT"].banks == 16  # max(load par, pipe par)
+
+    def test_double_buffering_follows_toggle(self):
+        on, _ = build("dotproduct", metapipe=True)
+        off, _ = build("dotproduct", metapipe=False)
+        assert mems_by_name(on)["aT"].double_buffered
+        assert not mems_by_name(off)["aT"].double_buffered
+
+
+class TestGda:
+    def test_two_metapipe_levels(self):
+        design, _ = build("gda", m1=True, m2=True)
+        metapipes = [c for c in design.controllers()
+                     if isinstance(c, MetaPipe)]
+        names = {m.name for m in metapipes}
+        assert {"m1", "m2"} <= names
+
+    def test_toggles_independent(self):
+        design, _ = build("gda", m1=True, m2=False)
+        kinds = {c.name: c.kind for c in design.controllers()}
+        assert kinds["m1"] == "MetaPipe"
+        assert kinds["m2"] == "Sequential"
+
+    def test_subT_double_buffered_between_p1_p2(self):
+        design, _ = build("gda", m2=True)
+        assert mems_by_name(design)["subT"].double_buffered
+
+    def test_sigma_tile_store_at_end(self):
+        design, _ = build("gda")
+        stores = [c for c in design.controllers() if isinstance(c, TileSt)]
+        assert len(stores) == 1
+        assert stores[0].offchip.name == "sigma"
+
+    def test_outer_par_replicates_area(self, estimator):
+        one, _ = build("gda", par_row=1)
+        four, _ = build("gda", par_row=4)
+        a1 = estimator.estimate_area(one)
+        a4 = estimator.estimate_area(four)
+        assert a4.alms > 2.0 * a1.alms
+
+
+class TestGemm:
+    def test_k_loop_accumulates_into_ct(self):
+        design, _ = build("gemm")
+        kk = next(c for c in design.controllers() if c.name == "kk")
+        assert kk.accum is not None
+        op, target = kk.accum
+        assert op == "add" and target.name == "cT"
+
+    def test_three_levels_of_tiles(self):
+        design, _ = build("gemm")
+        mems = mems_by_name(design)
+        assert {"aT", "bT", "cT", "pT"} <= set(mems)
+
+    def test_dot_pipe_is_reduce(self):
+        design, _ = build("gemm")
+        dot = next(c for c in design.controllers() if c.name == "dot")
+        assert dot.pattern == "reduce"
+
+    def test_par_k_scales_dsps(self, estimator):
+        slim, _ = build("gemm", par_k=2, par_n=1)
+        wide, _ = build("gemm", par_k=16, par_n=1)
+        assert (
+            estimator.estimate_area(wide).dsps
+            > 4 * estimator.estimate_area(slim).dsps
+        )
+
+
+class TestKMeans:
+    def test_k_parallel_distance_pipes(self):
+        design, _ = build("kmeans")
+        ds = get_benchmark("kmeans").default_dataset()
+        dist_pipes = [
+            c for c in design.controllers()
+            if isinstance(c, Pipe) and c.name.startswith("dist")
+        ]
+        assert len(dist_pipes) == ds["k"]
+
+    def test_distance_pipes_inside_parallel(self):
+        design, _ = build("kmeans")
+        par = next(c for c in design.controllers()
+                   if isinstance(c, Parallel))
+        assert all(s.name.startswith("dist") for s in par.stages)
+
+    def test_scatter_uses_data_dependent_index(self):
+        from repro.ir import LoadOp
+
+        design, _ = build("kmeans")
+        scatter = next(c for c in design.controllers()
+                       if c.name == "scatter")
+        stores = [n for n in scatter.body_prims
+                  if type(n).__name__ == "StoreOp"]
+        # The row index is a register read, not a loop iterator.
+        assert any(
+            isinstance(s.indices[0], LoadOp) for s in stores
+        )
+
+
+class TestBlackScholes:
+    def test_deep_pipeline_body(self):
+        design, _ = build("blackscholes")
+        price = next(c for c in design.controllers() if c.name == "price")
+        assert len(price.body_prims) > 40  # CNDF polynomial etc.
+
+    def test_five_loads_two_stores(self):
+        design, _ = build("blackscholes")
+        loads = [c for c in design.controllers() if isinstance(c, TileLd)]
+        stores = [c for c in design.controllers() if isinstance(c, TileSt)]
+        assert len(loads) == 5 and len(stores) == 2
+
+    def test_par_scales_alms_steeply(self, estimator):
+        one, _ = build("blackscholes", par=1)
+        eight, _ = build("blackscholes", par=8)
+        a1 = estimator.estimate_area(one).alms
+        a8 = estimator.estimate_area(eight).alms
+        assert a8 > 4 * a1
+
+
+class TestOuterProd:
+    def test_nested_loops(self):
+        design, _ = build("outerprod")
+        names = [c.name for c in design.controllers()]
+        assert "rows" in names and "cols" in names
+
+    def test_quadratic_output_tile(self):
+        design, params = build("outerprod")
+        outT = mems_by_name(design)["outT"]
+        assert outT.size == params["tile_a"] * params["tile_b"]
+
+
+class TestTpchq6:
+    def test_four_column_loads(self):
+        design, _ = build("tpchq6")
+        loads = [c for c in design.controllers() if isinstance(c, TileLd)]
+        assert len(loads) == 4
+
+    def test_filter_is_reduce_pipe_with_muxes(self):
+        design, _ = build("tpchq6")
+        filt = next(c for c in design.controllers() if c.name == "filter")
+        assert filt.pattern == "reduce"
+        ops = [getattr(n, "op", None) for n in filt.body_prims]
+        assert "mux" in ops and "and" in ops

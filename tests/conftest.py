@@ -1,0 +1,20 @@
+"""Shared fixtures: one trained estimator per test session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimation import Estimator
+from repro.target import MAIA
+
+
+@pytest.fixture(scope="session")
+def estimator() -> Estimator:
+    """A fully trained estimator (characterization + NN training once)."""
+    return Estimator(MAIA, training_samples=120, seed=7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,85 @@
+"""Brute-force validation of the explorer on a tiny exhaustive space."""
+
+import itertools
+
+import pytest
+
+from repro.dse import DesignPoint, explore, pareto_front
+from repro.dse.explorer import ExplorationResult
+from repro.apps import get_benchmark
+from repro.params import ParamSpace
+
+
+class TinyDot:
+    """A dotproduct variant with a fully enumerable parameter space."""
+
+    def __init__(self):
+        self._inner = get_benchmark("dotproduct")
+        self.name = "tinydot"
+
+    def default_dataset(self):
+        return {"n": 65536}
+
+    def param_space(self, dataset):
+        space = ParamSpace()
+        space.int_param("tile", [256, 1024, 4096])
+        space.int_param("par_load", [1, 4, 16])
+        space.int_param("par_inner", [1, 4, 16])
+        space.bool_param("metapipe")
+        space.constrain(lambda p: p["tile"] % p["par_inner"] == 0)
+        space.constrain(lambda p: p["tile"] % p["par_load"] == 0)
+        return space
+
+    def build(self, dataset, **params):
+        return self._inner.build(dataset, **params)
+
+
+@pytest.fixture(scope="module")
+def exhaustive(estimator):
+    bench = TinyDot()
+    dataset = bench.default_dataset()
+    space = bench.param_space(dataset)
+    points = []
+    for params in space.iter_points():
+        estimate = estimator.estimate(bench.build(dataset, **params))
+        points.append(DesignPoint(params, estimate))
+    return bench, dataset, space, points
+
+
+class TestAgainstBruteForce:
+    def test_sampler_covers_small_space_completely(self, estimator, exhaustive):
+        bench, dataset, space, all_points = exhaustive
+        result = explore(bench, estimator, dataset=dataset,
+                         max_points=1000, seed=3)
+        assert len(result.points) == len(all_points) == space.cardinality == 54
+
+    def test_explorer_best_matches_brute_force(self, estimator, exhaustive):
+        bench, dataset, _, all_points = exhaustive
+        result = explore(bench, estimator, dataset=dataset,
+                         max_points=1000, seed=3)
+        brute_best = min(
+            (p for p in all_points if p.valid), key=lambda p: p.cycles
+        )
+        assert result.best.cycles == brute_best.cycles
+        assert result.best.params == brute_best.params
+
+    def test_explorer_pareto_matches_brute_force(self, estimator, exhaustive):
+        bench, dataset, _, all_points = exhaustive
+        result = explore(bench, estimator, dataset=dataset,
+                         max_points=1000, seed=3)
+        brute_front = pareto_front(
+            [p for p in all_points if p.valid],
+            key=lambda p: (p.cycles, float(p.alms)),
+        )
+        assert {tuple(sorted(p.params.items())) for p in result.pareto} == {
+            tuple(sorted(p.params.items())) for p in brute_front
+        }
+
+    def test_estimates_deterministic_across_rebuilds(self, estimator, exhaustive):
+        bench, dataset, _, all_points = exhaustive
+        for point in all_points[:6]:
+            estimate = estimator.estimate(
+                bench.build(dataset, **point.params)
+            )
+            assert estimate.cycles == point.estimate.cycles
+            assert estimate.alms == point.estimate.alms

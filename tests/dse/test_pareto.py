@@ -1,0 +1,78 @@
+"""Property tests for Pareto frontier extraction."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dse import dominates, is_pareto_optimal, pareto_front
+
+point = st.tuples(
+    st.floats(0, 1000, allow_nan=False), st.floats(0, 1000, allow_nan=False)
+)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_tradeoff_does_not_dominate(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((3, 1), (2, 2))
+
+    def test_better_in_one_equal_other(self):
+        assert dominates((1, 2), (2, 2))
+        assert dominates((2, 1), (2, 2))
+
+
+class TestFront:
+    def test_simple_front(self):
+        pts = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]
+        front = pareto_front(pts, key=lambda p: p)
+        assert front == [(1, 5), (2, 3), (4, 1)]
+
+    def test_single_point(self):
+        assert pareto_front([(1, 1)], key=lambda p: p) == [(1, 1)]
+
+    def test_empty(self):
+        assert pareto_front([], key=lambda p: p) == []
+
+    def test_all_dominated_by_one(self):
+        pts = [(0, 0), (1, 1), (2, 2)]
+        assert pareto_front(pts, key=lambda p: p) == [(0, 0)]
+
+    @given(st.lists(point, min_size=1, max_size=200))
+    def test_front_members_are_pareto_optimal(self, pts):
+        front = pareto_front(pts, key=lambda p: p)
+        for member in front:
+            assert is_pareto_optimal(member, pts, key=lambda p: p)
+
+    @given(st.lists(point, min_size=1, max_size=200))
+    def test_every_point_dominated_or_on_front(self, pts):
+        front = pareto_front(pts, key=lambda p: p)
+        front_set = set(front)
+        for p in pts:
+            if p in front_set:
+                continue
+            assert any(
+                dominates(f, p) or f == p for f in front
+            )
+
+    @given(st.lists(point, min_size=2, max_size=200))
+    def test_front_sorted_and_strictly_improving(self, pts):
+        front = pareto_front(pts, key=lambda p: p)
+        firsts = [p[0] for p in front]
+        seconds = [p[1] for p in front]
+        assert firsts == sorted(firsts)
+        assert all(b < a for a, b in zip(seconds, seconds[1:]))
+
+    @given(st.lists(point, min_size=1, max_size=100))
+    def test_front_invariant_under_shuffle(self, pts):
+        import random
+
+        shuffled = pts[:]
+        random.Random(0).shuffle(shuffled)
+        a = pareto_front(pts, key=lambda p: p)
+        b = pareto_front(shuffled, key=lambda p: p)
+        assert a == b

@@ -1,0 +1,76 @@
+"""Tests for the Estimator facade and default-estimator caching."""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.estimation import Estimator, default_estimator
+from repro.target import MAIA
+
+
+class TestFacade:
+    def test_estimate_bundles_cycles_and_area(self, estimator):
+        bench = get_benchmark("tpchq6")
+        ds = bench.default_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        est = estimator.estimate(design)
+        cycles = estimator.estimate_cycles(design)
+        area = estimator.estimate_area(design)
+        assert est.cycles == cycles.total
+        assert est.alms == area.alms
+        assert est.brams == area.brams
+
+    def test_estimate_properties(self, estimator):
+        bench = get_benchmark("tpchq6")
+        ds = bench.default_dataset()
+        est = estimator.estimate(bench.build(ds, **bench.default_params(ds)))
+        assert est.design_name == "tpchq6"
+        assert est.dsps == est.area.dsps
+        util = est.utilization()
+        assert set(util) == {"alms", "dsps", "brams"}
+
+    def test_custom_training_budget(self):
+        fast = Estimator(MAIA, training_samples=40, seed=3)
+        assert fast.corrections.training_summary["n_samples"] == 40.0
+
+    def test_injected_models_skip_training(self, estimator):
+        reused = Estimator(
+            MAIA,
+            templates=estimator.templates,
+            corrections=estimator.corrections,
+        )
+        bench = get_benchmark("tpchq6")
+        ds = bench.default_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        assert reused.estimate(design).alms == estimator.estimate(design).alms
+
+    def test_default_estimator_cached(self):
+        a = default_estimator()
+        b = default_estimator()
+        assert a is b
+
+    def test_default_estimator_distinct_per_seed(self):
+        a = default_estimator(seed=7)
+        b = default_estimator(seed=8)
+        assert a is not b
+
+    def test_estimates_are_deterministic(self, estimator):
+        bench = get_benchmark("gda")
+        ds = bench.default_dataset()
+        params = bench.default_params(ds)
+        first = estimator.estimate(bench.build(ds, **params))
+        second = estimator.estimate(bench.build(ds, **params))
+        assert (first.cycles, first.alms, first.brams, first.dsps) == (
+            second.cycles, second.alms, second.brams, second.dsps
+        )
+
+    def test_training_seed_changes_corrections_slightly(self):
+        a = Estimator(MAIA, training_samples=60, seed=1)
+        b = Estimator(MAIA, training_samples=60, seed=2)
+        bench = get_benchmark("tpchq6")
+        ds = bench.default_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        ea, eb = a.estimate(design), b.estimate(design)
+        # Different training data -> slightly different corrections, but
+        # the same ballpark (raw counts dominate).
+        assert ea.alms != eb.alms or ea.brams != eb.brams
+        assert abs(ea.alms - eb.alms) / eb.alms < 0.1

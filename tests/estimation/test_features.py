@@ -1,0 +1,60 @@
+"""Tests for the NN feature vector."""
+
+import math
+
+from repro.apps import get_benchmark
+from repro.estimation import N_FEATURES, design_features, raw_area
+
+
+def features_for(estimator, name, **overrides):
+    bench = get_benchmark(name)
+    ds = bench.default_dataset()
+    params = bench.default_params(ds)
+    params.update(overrides)
+    design = bench.build(ds, **params)
+    raw = raw_area(design, estimator.templates)
+    return design_features(design, raw.counts, raw.wire_bits)
+
+
+class TestFeatureVector:
+    def test_exactly_eleven_inputs(self, estimator):
+        feats = features_for(estimator, "tpchq6")
+        assert len(feats) == N_FEATURES == 11
+
+    def test_all_finite(self, estimator):
+        for name in ("dotproduct", "gda", "kmeans"):
+            feats = features_for(estimator, name)
+            assert all(math.isfinite(f) for f in feats)
+
+    def test_resource_features_log_scaled(self, estimator):
+        small = features_for(estimator, "blackscholes", par=1)
+        large = features_for(estimator, "blackscholes", par=8)
+        # Log-scaled: 8x the lanes adds ~log10(8) ~ 0.9 to the LUT feature.
+        assert 0.3 < large[0] - small[0] < 1.5
+
+    def test_structure_features_count_controllers(self, estimator):
+        feats = features_for(estimator, "gda")
+        n_controllers = feats[6]
+        assert n_controllers >= 8  # nested loop structure
+
+    def test_metapipe_count_feature(self, estimator):
+        both = features_for(estimator, "gda", m1=True, m2=True)
+        neither = features_for(estimator, "gda", m1=False, m2=False)
+        assert both[7] == neither[7] + 2
+
+    def test_transfer_count_feature(self, estimator):
+        feats = features_for(estimator, "blackscholes")
+        assert feats[8] == 7  # 5 loads + 2 stores
+
+    def test_depth_feature(self, estimator):
+        gda = features_for(estimator, "gda")
+        dot = features_for(estimator, "dotproduct")
+        assert gda[9] >= dot[9]
+        assert gda[6] > dot[6]  # far more controllers in the nested app
+
+    def test_banks_feature_tracks_par(self, estimator):
+        narrow = features_for(estimator, "dotproduct", par_inner=1,
+                              par_load=1)
+        wide = features_for(estimator, "dotproduct", par_inner=48,
+                            par_load=32)
+        assert wide[10] > narrow[10]

@@ -1,0 +1,97 @@
+"""Tests for the MLP correction networks (Encog substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.estimation.nn import MLP, MLPConfig, fit_linear
+
+
+def make_data(fn, n=200, n_inputs=11, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, n_inputs))
+    y = np.apply_along_axis(fn, 1, x)
+    return x, y
+
+
+class TestTraining:
+    def test_fits_linear_function(self):
+        x, y = make_data(lambda v: 2.0 * v[0] - 0.5 * v[3] + 1.0)
+        net = MLP(MLPConfig(epochs=300, seed=1)).fit(x, y)
+        pred = net.predict(x)
+        assert np.mean((pred - y) ** 2) < 0.01 * np.var(y)
+
+    def test_fits_polynomial(self):
+        """The paper cites universal approximation incl. polynomials."""
+        x, y = make_data(lambda v: v[0] ** 2 + 0.5 * v[1] * v[2])
+        net = MLP(MLPConfig(epochs=600, seed=2)).fit(x, y)
+        pred = net.predict(x)
+        assert np.mean((pred - y) ** 2) < 0.15 * np.var(y)
+
+    def test_loss_decreases(self):
+        x, y = make_data(lambda v: np.tanh(v[0]) + v[1])
+        net = MLP(MLPConfig(epochs=200, seed=3)).fit(x, y)
+        assert net.loss_history[-1] < net.loss_history[0]
+
+    def test_deterministic_given_seed(self):
+        x, y = make_data(lambda v: v[0] + v[1])
+        p1 = MLP(MLPConfig(epochs=100, seed=4)).fit(x, y).predict(x)
+        p2 = MLP(MLPConfig(epochs=100, seed=4)).fit(x, y).predict(x)
+        np.testing.assert_array_equal(p1, p2)
+
+    def test_architecture_11_6_1(self):
+        net = MLP()
+        assert net.w1.shape == (6, 11)
+        assert net.w2.shape == (1, 6)
+
+    def test_rejects_wrong_feature_count(self):
+        net = MLP()
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((10, 5)), np.zeros(10))
+
+    def test_constant_target_handled(self):
+        x, _ = make_data(lambda v: 0.0)
+        y = np.full(x.shape[0], 3.0)
+        net = MLP(MLPConfig(epochs=50, seed=5)).fit(x, y)
+        assert net.predict(x[:5]) == pytest.approx(np.full(5, 3.0), abs=0.2)
+
+    def test_predict_single_row(self):
+        x, y = make_data(lambda v: v[0])
+        net = MLP(MLPConfig(epochs=100, seed=6)).fit(x, y)
+        assert net.predict(x[0]).shape == (1,)
+
+    def test_generalizes_to_held_out(self):
+        x, y = make_data(lambda v: v[0] - v[5], n=400, seed=7)
+        net = MLP(MLPConfig(epochs=300, seed=7)).fit(x[:300], y[:300])
+        pred = net.predict(x[300:])
+        assert np.mean((pred - y[300:]) ** 2) < 0.05 * np.var(y)
+
+
+class TestSerialization:
+    def test_roundtrip_identical_predictions(self):
+        x, y = make_data(lambda v: v[0] * v[1])
+        net = MLP(MLPConfig(epochs=150, seed=8)).fit(x, y)
+        restored = MLP.from_dict(net.to_dict())
+        np.testing.assert_array_equal(net.predict(x), restored.predict(x))
+
+    def test_dict_is_json_safe(self):
+        import json
+
+        net = MLP()
+        json.dumps(net.to_dict())
+
+
+class TestFitLinear:
+    def test_recovers_coefficients(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 10, size=(100, 1))
+        y = 3.0 + 2.0 * x[:, 0]
+        coef = fit_linear(x, y)
+        assert coef[0] == pytest.approx(3.0, abs=1e-6)
+        assert coef[1] == pytest.approx(2.0, abs=1e-6)
+
+    def test_multifeature(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(size=(50, 3))
+        y = 1.0 + x @ np.array([2.0, -1.0, 0.5])
+        coef = fit_linear(x, y)
+        np.testing.assert_allclose(coef, [1.0, 2.0, -1.0, 0.5], atol=1e-8)

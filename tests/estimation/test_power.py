@@ -1,0 +1,85 @@
+"""Tests for the power/energy estimation extension."""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.estimation.power import (
+    DEVICE_STATIC_W,
+    compute_activity,
+    estimate_power,
+)
+
+
+def power_for(estimator, name, **overrides):
+    bench = get_benchmark(name)
+    ds = bench.default_dataset()
+    params = bench.default_params(ds)
+    params.update(overrides)
+    design = bench.build(ds, **params)
+    area = estimator.estimate_area(design)
+    cycles = estimator.estimate_cycles(design)
+    return estimate_power(design, area, cycles, estimator.board), design
+
+
+class TestPowerModel:
+    def test_total_exceeds_static_floor(self, estimator):
+        power, _ = power_for(estimator, "tpchq6")
+        assert power.total_w > DEVICE_STATIC_W
+
+    def test_total_below_board_envelope(self, estimator):
+        """A PCIe accelerator card stays under a few tens of watts."""
+        for name in ("dotproduct", "blackscholes", "gda", "kmeans"):
+            power, _ = power_for(estimator, name)
+            assert power.total_w < 60.0, name
+
+    def test_wider_design_draws_more_power(self, estimator):
+        narrow, _ = power_for(estimator, "blackscholes", par=1)
+        wide, _ = power_for(estimator, "blackscholes", par=8)
+        assert wide.total_w > narrow.total_w
+
+    def test_breakdown_sums_to_total(self, estimator):
+        power, _ = power_for(estimator, "gda")
+        total = sum(power.breakdown.values())
+        assert total == pytest.approx(power.total_w, rel=0.01)
+
+    def test_energy_is_power_times_runtime(self, estimator):
+        power, _ = power_for(estimator, "gda")
+        assert power.energy_j == pytest.approx(
+            power.total_w * power.runtime_s
+        )
+
+    def test_overlapped_design_more_active(self, estimator):
+        """A MetaPipe design keeps its datapath busy while loading; the
+        sequentialized variant idles during transfers."""
+        overlapped, _ = power_for(estimator, "dotproduct", metapipe=True)
+        serial, _ = power_for(estimator, "dotproduct", metapipe=False)
+        assert overlapped.activity > serial.activity
+
+    def test_activity_bounded(self, estimator):
+        for name in ("dotproduct", "gemm", "kmeans"):
+            power, _ = power_for(estimator, name)
+            assert 0.05 <= power.activity <= 1.0
+
+
+class TestEnergyComparison:
+    def test_fpga_more_energy_efficient_than_cpu(self, estimator):
+        """Even near performance parity, the accelerator wins on energy
+        (the standard FPGA-offload argument; CPU TDP is 95 W)."""
+        bench = get_benchmark("blackscholes")
+        power, design = power_for(estimator, "blackscholes")
+        cpu_energy = bench.cpu_time(bench.default_dataset()) * 95.0
+        assert power.energy_j < cpu_energy
+
+
+class TestActivityHelper:
+    def test_empty_design_defaults(self, estimator):
+        from repro.ir import Design
+        from repro.ir import builder as hw
+        from repro.estimation import estimate_cycles
+
+        with Design("idle") as d:
+            with hw.sequential("top"):
+                with hw.pipe("p", [(4, 1)]):
+                    pass
+        cycles = estimate_cycles(d)
+        assert 0.0 < compute_activity(d, cycles) <= 1.0

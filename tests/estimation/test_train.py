@@ -1,0 +1,69 @@
+"""Tests for correction-model training and the sample generator."""
+
+import pytest
+
+from repro.estimation import generate_sample_design
+from repro.synth import synthesize
+
+
+class TestSampleGenerator:
+    def test_designs_build_and_finalize(self):
+        for seed in range(10):
+            design = generate_sample_design(seed)
+            assert design.finalized
+
+    def test_designs_are_varied(self):
+        stats = [generate_sample_design(s).stats() for s in range(20)]
+        prim_counts = {s["prims"] for s in stats}
+        assert len(prim_counts) > 10
+
+    def test_designs_synthesizable(self):
+        for seed in (0, 5, 9):
+            report = synthesize(generate_sample_design(seed))
+            assert report.alms > 0
+
+    def test_deterministic_per_seed(self):
+        a = generate_sample_design(3).stats()
+        b = generate_sample_design(3).stats()
+        assert a == b
+
+    def test_resource_usage_spans_orders_of_magnitude(self):
+        alms = [
+            synthesize(generate_sample_design(s)).alms for s in range(30)
+        ]
+        assert max(alms) > 10 * min(alms)
+
+
+class TestCorrections:
+    def test_training_summary_magnitudes(self, estimator):
+        summary = estimator.corrections.training_summary
+        # Paper Section IV-A magnitudes: routing ~10%, dup regs ~5%.
+        assert 0.04 <= summary["mean_routing_frac"] <= 0.18
+        assert 0.02 <= summary["mean_dup_reg_frac"] <= 0.10
+        assert 0.01 <= summary["mean_unavail_frac"] <= 0.08
+
+    def test_routing_prediction_positive(self, estimator):
+        from repro.estimation import raw_area
+        from repro.estimation.features import design_features
+
+        design = generate_sample_design(123)
+        raw = raw_area(design, estimator.templates)
+        feats = design_features(design, raw.counts, raw.wire_bits)
+        routing = estimator.corrections.predict_routing_luts(
+            feats, raw.counts
+        )
+        assert 0 < routing < 0.5 * raw.counts.luts
+
+    def test_bram_dup_clamped_to_raw(self, estimator):
+        from repro.estimation.counts import Counts
+
+        raw = Counts(luts_packable=100, luts_unpackable=50, brams=5)
+        dup = estimator.corrections.predict_duplicated_brams(1e9, raw)
+        assert dup <= raw.brams
+
+    def test_bram_dup_zero_floor(self, estimator):
+        from repro.estimation.counts import Counts
+
+        raw = Counts(luts_packable=100, luts_unpackable=50, brams=5)
+        dup = estimator.corrections.predict_duplicated_brams(0.0, raw)
+        assert dup >= 0.0

@@ -1,0 +1,41 @@
+"""Tests for correction-model cross-validation."""
+
+import pytest
+
+from repro.estimation import cross_validate
+
+
+@pytest.fixture(scope="module")
+def cv_report(estimator):
+    return cross_validate(
+        estimator.templates, estimator.board,
+        n_samples=120, folds=3, epochs=300,
+    )
+
+
+class TestCrossValidation:
+    def test_all_targets_reported(self, cv_report):
+        assert set(cv_report.fold_rmse) == {
+            "routing", "dup_regs", "unavailable"
+        }
+        assert all(len(v) == 3 for v in cv_report.fold_rmse.values())
+
+    def test_models_near_or_below_constant_predictor(self, cv_report):
+        # The targets are noise-dominated (the substrate's per-design
+        # draws), so held-out RMSE can only approach the noise floor;
+        # it must at least be competitive with a constant predictor.
+        for target in cv_report.fold_rmse:
+            assert cv_report.relative_rmse(target) < 1.25, target
+        assert min(
+            cv_report.relative_rmse(t) for t in cv_report.fold_rmse
+        ) < 1.0
+
+    def test_rmse_magnitudes_sane(self, cv_report):
+        # Targets are fractions of a few percent; errors must be smaller.
+        for target in cv_report.fold_rmse:
+            assert cv_report.mean_rmse(target) < 0.02, target
+
+    def test_summary_renders(self, cv_report):
+        text = cv_report.summary()
+        assert "cross-validation" in text
+        assert "routing" in text

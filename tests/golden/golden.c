@@ -1,0 +1,26 @@
+#include <math.h>
+#include <stdint.h>
+
+void golden(float a[64], float *out) {
+    float out_1 = 0;
+    float buf_6[16];
+    #pragma HLS ARRAY_PARTITION variable=buf_6 cyclic factor=4 dim=1
+    float acc_8 = 0;
+
+    // MetaPipe schedule: no HLS equivalent (DATAFLOW restrictions, see paper Sec. II)
+    L1: for (int i0_4 = 0; i0_4 < 64; i0_4 += 16) {
+        // memcpy in: buf_6 <- a (16 words, 1 bursts)
+        memcpy(buf_6, /* &a[...] */ 0, (16) * sizeof(float));
+        L2: for (int i0_10 = 0; i0_10 < 16; i0_10 += 1) {
+            #pragma HLS PIPELINE II=1
+            #pragma HLS UNROLL factor=2
+            float ld_buf_12 = buf_6[i0_10];
+            bool lt_14 = (ld_buf_12 < 0.0f);
+            float mul_15 = (ld_buf_12 * ld_buf_12);
+            float mux_17 = (lt_14 ? 0.0f : mul_15);
+            acc_8 = acc_8 + mux_17;
+        }
+        // reduce(add) into acc_8 across iterations
+    }
+    // reduce(add) into out_1 across iterations
+}

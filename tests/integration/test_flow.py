@@ -1,0 +1,132 @@
+"""Integration tests: the full paper flow, end to end.
+
+Covers Figure 1's pipeline — parallel patterns -> DHDL -> estimation ->
+DSE -> code generation — plus a miniature Table III (estimator vs
+synthesis/simulation error bounds across all seven benchmarks).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.apps import all_benchmarks, get_benchmark
+from repro.codegen import generate_maxj
+from repro.dse import explore
+from repro.ir import builder as hw
+from repro.ir.types import Float32
+from repro.patterns import input_vector, lower
+from repro.sim import FunctionalSim, simulate
+from repro.synth import synthesize
+
+
+class TestPatternsToHardwareFlow:
+    def test_pattern_program_through_dse_to_maxj(self, estimator):
+        """Author an app with patterns, explore tiles/pars, generate MaxJ."""
+        n = 1 << 18
+        a = input_vector("a", Float32, n)
+        b = input_vector("b", Float32, n)
+        prog = a.zip_with(b, lambda x, y: (x - y) * (x - y)).reduce("add")
+
+        candidates = []
+        for tile in (1024, 4096, 16384):
+            for par in (1, 4, 16):
+                for mp in (False, True):
+                    design = lower(prog, tile=tile, par=par, metapipe=mp)
+                    est = estimator.estimate(design)
+                    candidates.append((est, tile, par, mp))
+        valid = [c for c in candidates if c[0].fits()]
+        assert valid
+        best = min(valid, key=lambda c: c[0].cycles)
+        est, tile, par, mp = best
+
+        # The chosen design is functionally correct...
+        small = lower(prog, tile=64, par=4, metapipe=mp)
+        rng = np.random.default_rng(0)
+        # rebuild at small size for functional checking
+        a_s = input_vector("a", Float32, 256)
+        b_s = input_vector("b", Float32, 256)
+        prog_s = a_s.zip_with(b_s, lambda x, y: (x - y) * (x - y)).reduce("add")
+        design_s = lower(prog_s, tile=64, par=4, metapipe=mp)
+        av, bv = rng.normal(size=256), rng.normal(size=256)
+        out = FunctionalSim(design_s).run({"a": av, "b": bv})
+        assert out["out"] == pytest.approx(((av - bv) ** 2).sum())
+
+        # ...and synthesizable + generatable.
+        design = lower(prog, tile=tile, par=par, metapipe=mp)
+        report = synthesize(design)
+        assert report.fits()
+        assert "extends Kernel" in generate_maxj(design)
+
+
+class TestMiniTableIII:
+    """Estimation error vs ground truth, one Pareto-ish point per app."""
+
+    @pytest.mark.parametrize(
+        "bench", all_benchmarks(), ids=lambda b: b.name
+    )
+    def test_area_and_runtime_errors_bounded(self, estimator, bench):
+        ds = bench.default_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        est = estimator.estimate(design)
+        rep = synthesize(design)
+        sim = simulate(design)
+
+        alm_err = abs(est.alms - rep.alms) / max(rep.alms, 1)
+        run_err = abs(est.cycles - sim.cycles) / max(sim.cycles, 1)
+        # Individual points can exceed the paper's 4.8%/6.1% averages;
+        # gemm is the paper's own worst case at 12.7%/18.4%.
+        assert alm_err < 0.30, f"{bench.name} ALM error {alm_err:.1%}"
+        assert run_err < 0.30, f"{bench.name} runtime error {run_err:.1%}"
+
+    def test_average_errors_near_paper(self, estimator):
+        alm_errs, run_errs = [], []
+        for bench in all_benchmarks():
+            ds = bench.default_dataset()
+            design = bench.build(ds, **bench.default_params(ds))
+            est = estimator.estimate(design)
+            rep = synthesize(design)
+            sim = simulate(design)
+            alm_errs.append(abs(est.alms - rep.alms) / max(rep.alms, 1))
+            run_errs.append(abs(est.cycles - sim.cycles) / max(sim.cycles, 1))
+        assert float(np.mean(alm_errs)) < 0.12
+        assert float(np.mean(run_errs)) < 0.12
+
+
+class TestDSEOnRealApps:
+    def test_exploration_finds_faster_than_default(self, estimator):
+        bench = get_benchmark("blackscholes")
+        ds = bench.default_dataset()
+        default = estimator.estimate(
+            bench.build(ds, **bench.default_params(ds))
+        )
+        result = explore(bench, estimator, max_points=300, seed=9)
+        assert result.best is not None
+        # The hand-picked default is already near-optimal for this app; a
+        # few hundred random samples must land in the same neighborhood.
+        assert result.best.cycles <= default.cycles * 1.2
+
+    def test_pareto_points_synthesizable(self, estimator):
+        bench = get_benchmark("tpchq6")
+        result = explore(bench, estimator, max_points=60, seed=4)
+        for point in result.pareto_sample(3):
+            design = bench.build(result.dataset, **point.params)
+            assert synthesize(design).fits()
+
+
+class TestEstimatorVsSimulatorOrdering:
+    def test_relative_ordering_preserved(self, estimator):
+        """Estimates must rank designs like the ground truth does."""
+        bench = get_benchmark("dotproduct")
+        ds = bench.default_dataset()
+        space = bench.param_space(ds)
+        points = space.sample(random.Random(13), 8)
+        est_times, sim_times = [], []
+        for params in points:
+            design = bench.build(ds, **params)
+            est_times.append(estimator.estimate(design).cycles)
+            sim_times.append(simulate(design).cycles)
+        est_rank = np.argsort(est_times)
+        sim_rank = np.argsort(sim_times)
+        # Spearman-style agreement: top-3 sets overlap strongly.
+        assert len(set(est_rank[:3]) & set(sim_rank[:3])) >= 2

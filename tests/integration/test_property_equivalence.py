@@ -1,0 +1,125 @@
+"""Property-based equivalence: random pattern programs vs numpy.
+
+Generates random fused map/zip chains with random terminal patterns,
+lowers them to DHDL with random legal tiling/parallelization, executes the
+functional simulator, and checks the result against a numpy evaluation of
+the same expression. This is the broadest correctness net over the
+frontend + lowering + IR + interpreter stack.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import builder as hw
+from repro.ir.types import Float32
+from repro.patterns import input_vector, lower
+from repro.sim import FunctionalSim
+
+# Each op: (name, pattern-builder, numpy equivalent).
+UNARY_OPS = {
+    "scale": (lambda v: v * 1.5, lambda x: x * 1.5),
+    "shift": (lambda v: v + 2.0, lambda x: x + 2.0),
+    "negshift": (lambda v: 1.0 - v, lambda x: 1.0 - x),
+    "abs": (lambda v: hw.abs_(v), np.abs),
+    "square": (lambda v: v * v, lambda x: x * x),
+    "clamp": (
+        lambda v: hw.minimum(hw.maximum(v, -2.0), 2.0),
+        lambda x: np.clip(x, -2.0, 2.0),
+    ),
+    "halve": (lambda v: v / 2.0, lambda x: x / 2.0),
+}
+BINARY_OPS = {
+    "add": (lambda a, b: a + b, np.add),
+    "sub": (lambda a, b: a - b, np.subtract),
+    "mul": (lambda a, b: a * b, np.multiply),
+    "min": (lambda a, b: hw.minimum(a, b), np.minimum),
+    "max": (lambda a, b: hw.maximum(a, b), np.maximum),
+}
+
+
+@st.composite
+def pattern_programs(draw):
+    length = draw(st.sampled_from([64, 128, 192]))
+    tile = draw(st.sampled_from([16, 32, 64]))
+    par = draw(st.sampled_from([1, 2, 4]))
+    metapipe = draw(st.booleans())
+    n_inputs = draw(st.integers(1, 3))
+    chain = tuple(draw(
+        st.lists(st.sampled_from(sorted(UNARY_OPS)), min_size=0, max_size=4)
+    ))
+    combiner = draw(st.sampled_from(sorted(BINARY_OPS)))
+    terminal = draw(st.sampled_from(["reduce_add", "reduce_max", "collect",
+                                     "filter"]))
+    return length, tile, par, metapipe, n_inputs, chain, combiner, terminal
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern_programs())
+def test_random_program_matches_numpy(program):
+    length, tile, par, metapipe, n_inputs, chain, combiner, terminal = program
+
+    names = [f"in{k}" for k in range(n_inputs)]
+    cols = [input_vector(name, Float32, length) for name in names]
+
+    expr = cols[0]
+    for other in cols[1:]:
+        expr = expr.zip_with(other, BINARY_OPS[combiner][0])
+    for op in chain:
+        expr = expr.map(UNARY_OPS[op][0])
+
+    rng = np.random.default_rng(abs(hash(program)) % (2**32))
+    inputs = {name: rng.uniform(-3, 3, size=length) for name in names}
+
+    ref = inputs[names[0]].copy()
+    for other in names[1:]:
+        ref = BINARY_OPS[combiner][1](ref, inputs[other])
+    for op in chain:
+        ref = UNARY_OPS[op][1](ref)
+
+    if terminal == "reduce_add":
+        prog = expr.reduce("add")
+        expected = ref.sum()
+    elif terminal == "reduce_max":
+        prog = expr.reduce("max")
+        expected = ref.max()
+    elif terminal == "filter":
+        prog = expr.filter_reduce(lambda v: v > 0.0, "add")
+        expected = ref[ref > 0].sum()
+    else:
+        prog = expr.collect("out")
+        expected = ref
+
+    design = lower(prog, tile=tile, par=par, metapipe=metapipe)
+    outputs = FunctionalSim(design).run(inputs)
+
+    if terminal == "collect":
+        np.testing.assert_allclose(outputs["out"], expected, rtol=1e-9,
+                                   atol=1e-12)
+    else:
+        assert math.isclose(
+            float(outputs["out"]), float(expected),
+            rel_tol=1e-9, abs_tol=1e-9,
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(pattern_programs())
+def test_random_program_estimable_and_synthesizable(program):
+    """Every generated program must survive the full analysis stack."""
+    from repro.estimation import estimate_cycles
+    from repro.synth import synthesize
+
+    length, tile, par, metapipe, n_inputs, chain, combiner, terminal = program
+    cols = [input_vector(f"in{k}", Float32, length) for k in range(n_inputs)]
+    expr = cols[0]
+    for other in cols[1:]:
+        expr = expr.zip_with(other, BINARY_OPS[combiner][0])
+    for op in chain:
+        expr = expr.map(UNARY_OPS[op][0])
+    prog = expr.reduce("add") if terminal != "collect" else expr.collect("o")
+    design = lower(prog, tile=tile, par=par, metapipe=metapipe)
+    assert estimate_cycles(design).total > 0
+    assert synthesize(design).alms > 0

@@ -1,0 +1,98 @@
+"""Scaling properties: how estimates respond to datasets and parameters.
+
+These invariants protect the separation the paper's metaprogramming model
+relies on: dataset size affects *iteration counts* (runtime), never the
+hardware (area); parallelization affects both in predictable directions.
+"""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.sim import simulate
+
+
+def build_dot(n, tile=2000, par=8, mp=True):
+    bench = get_benchmark("dotproduct")
+    return bench.build(
+        {"n": n}, tile=tile, par_load=par, par_inner=par, metapipe=mp
+    )
+
+
+class TestDatasetScaling:
+    def test_area_independent_of_dataset_size(self, estimator):
+        small = estimator.estimate_area(build_dot(200_000))
+        large = estimator.estimate_area(build_dot(20_000_000))
+        assert small.alms == large.alms
+        assert small.brams == large.brams
+        assert small.dsps == large.dsps
+
+    def test_runtime_linear_in_dataset_size(self, estimator):
+        t1 = estimator.estimate_cycles(build_dot(2_000_000)).total
+        t10 = estimator.estimate_cycles(build_dot(20_000_000)).total
+        assert t10 / t1 == pytest.approx(10.0, rel=0.02)
+
+    def test_simulated_runtime_also_linear(self):
+        t1 = simulate(build_dot(2_000_000)).cycles
+        t10 = simulate(build_dot(20_000_000)).cycles
+        assert t10 / t1 == pytest.approx(10.0, rel=0.02)
+
+    def test_synthesis_independent_of_dataset_size(self):
+        from repro.synth import synthesize
+
+        small = synthesize(build_dot(200_000))
+        large = synthesize(build_dot(20_000_000))
+        # Counter widths are fixed; only iteration bounds change, and the
+        # substrate's noise is seeded by structure (incl. dims), so allow
+        # only the noise-level difference.
+        assert abs(small.alms - large.alms) / large.alms < 0.10
+
+
+class TestParameterScaling:
+    def test_tile_size_trades_bram_for_fewer_iterations(self, estimator):
+        smalltile = estimator.estimate(build_dot(20_000_000, tile=480))
+        bigtile = estimator.estimate(build_dot(20_000_000, tile=19_200))
+        assert bigtile.brams > smalltile.brams
+        assert bigtile.cycles < smalltile.cycles
+
+    def test_par_trades_alms_for_speed_until_bandwidth(self, estimator):
+        est = {
+            p: estimator.estimate(
+                build_dot(20_000_000, tile=19_200, par=p)
+            )
+            for p in (1, 8, 64)
+        }
+        assert est[8].alms > est[1].alms
+        assert est[8].cycles < est[1].cycles
+        # At par=64 dotproduct is already at the bandwidth roof: huge area
+        # increase, marginal speedup (the Figure 5 dotproduct plateau).
+        speedup_8_to_64 = est[8].cycles / est[64].cycles
+        speedup_1_to_8 = est[1].cycles / est[8].cycles
+        assert speedup_1_to_8 > 2 * speedup_8_to_64
+
+    def test_metapipe_toggle_never_changes_area_downward_much(self, estimator):
+        mp = estimator.estimate(build_dot(20_000_000, mp=True))
+        seq = estimator.estimate(build_dot(20_000_000, mp=False))
+        # Double buffering costs BRAM; sequential must not cost more.
+        assert mp.brams >= seq.brams
+        assert mp.cycles < seq.cycles
+
+
+class TestMonotoneEstimates:
+    @pytest.mark.parametrize("name", ["gda", "blackscholes", "tpchq6"])
+    def test_runtime_decreases_along_main_par_axis(self, estimator, name):
+        bench = get_benchmark(name)
+        ds = bench.default_dataset()
+        axis = {"gda": "par_outer", "blackscholes": "par", "tpchq6": "par"}[name]
+        space = bench.param_space(ds)
+        candidates = next(
+            p.candidates for p in space.params if p.name == axis
+        )
+        params = bench.default_params(ds)
+        cycles = []
+        for value in sorted(candidates)[:4]:
+            point = dict(params)
+            point[axis] = value
+            if not space.is_legal(point):
+                continue
+            cycles.append(estimator.estimate(bench.build(ds, **point)).cycles)
+        assert cycles == sorted(cycles, reverse=True)

@@ -1,0 +1,123 @@
+"""Edge-case tests for the design container and finalization."""
+
+import pytest
+
+from repro.ir import Design, Float32, IRError
+from repro.ir import builder as hw
+
+
+class TestRootAndScopes:
+    def test_multiple_top_controllers_rejected_by_root(self):
+        with Design("d") as d:
+            with hw.sequential("a"):
+                with hw.pipe("p1", [(4, 1)]):
+                    pass
+            with hw.sequential("b"):
+                with hw.pipe("p2", [(4, 1)]):
+                    pass
+        with pytest.raises(IRError, match="exactly one"):
+            d.root
+
+    def test_finalize_with_open_scope_rejected(self):
+        d = Design("d")
+        d.__enter__()
+        seq = hw.sequential("top")
+        seq.__enter__()
+        with pytest.raises(IRError, match="open controller scopes"):
+            d.finalize()
+        seq.__exit__(None, None, None)
+        # Clean up the active-design stack.
+        from repro.ir.graph import _ACTIVE_DESIGNS
+
+        _ACTIVE_DESIGNS.pop()
+
+    def test_scope_mismatch_detected(self):
+        d = Design("d")
+        d.__enter__()
+        a = hw.sequential("a")
+        b = hw.sequential("b")
+        a.__enter__()
+        b.__enter__()
+        with pytest.raises(IRError, match="scope mismatch"):
+            a.__exit__(None, None, None)
+        b.__exit__(None, None, None)
+        a.__exit__(None, None, None)
+        from repro.ir.graph import _ACTIVE_DESIGNS
+
+        _ACTIVE_DESIGNS.pop()  # abandon without finalizing
+
+    def test_exception_skips_finalize(self):
+        class Boom(Exception):
+            pass
+
+        d = Design("d")
+        with pytest.raises(Boom):
+            with d:
+                raise Boom()
+        assert not d.finalized
+
+    def test_nested_designs_stack(self):
+        from repro.ir.graph import current_design
+
+        with Design("outer") as outer:
+            with hw.sequential("top"):
+                with hw.pipe("p", [(2, 1)]):
+                    pass
+            with Design("inner") as inner:
+                assert current_design() is inner
+                with hw.sequential("top"):
+                    with hw.pipe("p", [(2, 1)]):
+                        pass
+            assert current_design() is outer
+
+
+class TestAccumValidation:
+    def test_bram_accum_with_value_result_rejected_in_sim(self):
+        import numpy as np
+
+        from repro.sim import FunctionalSim
+
+        with Design("d") as d:
+            target = hw.bram("target", Float32, 4)
+            with hw.sequential("top"):
+                with hw.metapipe(
+                    "m", [(4, 1)], accum=("add", target)
+                ) as m:
+                    buf = hw.bram("buf", Float32, 4)
+                    with hw.pipe("p", [(4, 1)]) as p:
+                        (j,) = p.iters
+                        val = buf[j] + 1.0
+                        buf[j] = val
+                    m.returns(val)  # a Value, not a BRAM
+        with pytest.raises(IRError, match="BRAM result"):
+            FunctionalSim(d).run({})
+
+    def test_unknown_reduce_op_rejected_in_sim(self):
+        from repro.sim import FunctionalSim
+
+        with Design("d") as d:
+            out = hw.arg_out("out", Float32)
+            with hw.sequential("top"):
+                buf = hw.bram("buf", Float32, 4)
+                with hw.pipe("p", [(4, 1)], accum=("div", out)) as p:
+                    (j,) = p.iters
+                    p.returns(buf[j])
+        with pytest.raises(IRError, match="reduction"):
+            FunctionalSim(d).run({})
+
+
+class TestStatsEdge:
+    def test_empty_loop_body_rejected(self):
+        with pytest.raises(IRError, match="empty"):
+            with Design("d"):
+                with hw.sequential("top"):
+                    with hw.metapipe("m", [(4, 1)]):
+                        pass
+
+    def test_counterless_sequential_block(self):
+        with Design("d") as d:
+            with hw.sequential("top") as top:
+                with hw.pipe("p", [(4, 1)]):
+                    pass
+        assert top.iterations == 1
+        assert d.stats()["controllers"] == 2

@@ -1,0 +1,106 @@
+"""Tests for tile load/store command generators."""
+
+import pytest
+
+from repro.ir import Design, Float32, IRError, Int32
+from repro.ir import builder as hw
+
+
+def make_transfer(off_dims, sizes, bram_dims=None, par=1, load=True):
+    with Design("t") as d:
+        off = hw.offchip("off", Float32, *off_dims)
+        buf = hw.bram("buf", Float32, *(bram_dims or sizes))
+        with hw.sequential("top"):
+            fn = hw.tile_load if load else hw.tile_store
+            t = fn(off, buf, tuple(0 for _ in off_dims), sizes, par=par)
+    return t
+
+
+class TestGeometry:
+    def test_1d_single_command(self):
+        t = make_transfer((1024,), (256,))
+        assert t.num_commands == 1
+        assert t.contiguous_words == 256
+        assert t.words == 256
+
+    def test_2d_command_per_row(self):
+        t = make_transfer((64, 64), (16, 32))
+        assert t.num_commands == 16
+        assert t.contiguous_words == 32
+        assert t.words == 512
+
+    def test_3d_commands(self):
+        t = make_transfer((8, 8, 8), (2, 4, 8))
+        assert t.num_commands == 8
+        assert t.contiguous_words == 8
+
+    def test_bytes(self):
+        t = make_transfer((1024,), (256,))
+        assert t.bytes == 1024  # 256 f32 words
+
+    def test_store_direction_flag(self):
+        t = make_transfer((1024,), (256,), load=False)
+        assert not t.is_load
+
+
+class TestValidation:
+    def test_start_count_must_match_dims(self):
+        with pytest.raises(IRError, match="start"):
+            with Design("t"):
+                off = hw.offchip("off", Float32, 64, 64)
+                buf = hw.bram("buf", Float32, 16, 16)
+                with hw.sequential("top"):
+                    hw.tile_load(off, buf, (0,), (16, 16))
+
+    def test_size_count_must_match_dims(self):
+        with pytest.raises(IRError, match="tile size"):
+            with Design("t"):
+                off = hw.offchip("off", Float32, 64, 64)
+                buf = hw.bram("buf", Float32, 16, 16)
+                with hw.sequential("top"):
+                    hw.tile_load(off, buf, (0, 0), (16,))
+
+    def test_tile_cannot_exceed_dim(self):
+        with pytest.raises(IRError, match="out of range"):
+            make_transfer((64,), (128,), bram_dims=(128,))
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(IRError, match="type"):
+            with Design("t"):
+                off = hw.offchip("off", Int32, 64)
+                buf = hw.bram("buf", Float32, 64)
+                with hw.sequential("top"):
+                    hw.tile_load(off, buf, (0,), (64,))
+
+    def test_zero_size_tile_rejected(self):
+        with pytest.raises(IRError):
+            make_transfer((64,), (0,), bram_dims=(16,))
+
+    def test_par_recorded(self):
+        t = make_transfer((1024,), (256,), par=16)
+        assert t.par == 16
+
+
+class TestDynamicStarts:
+    def test_iterator_start_expression(self):
+        with Design("t") as d:
+            off = hw.offchip("off", Float32, 1024)
+            with hw.sequential("top"):
+                with hw.metapipe("m", [(1024, 64)]) as m:
+                    (i,) = m.iters
+                    buf = hw.bram("buf", Float32, 64)
+                    t = hw.tile_load(off, buf, (i,), (64,))
+        assert t.starts[0] is m.cchain.iters[0]
+
+    def test_affine_start_expression(self):
+        with Design("t") as d:
+            off = hw.offchip("off", Float32, 64, 64)
+            with hw.sequential("top"):
+                with hw.metapipe("m", [(4, 1)]) as m:
+                    (i,) = m.iters
+                    buf = hw.bram("buf", Float32, 16, 64)
+                    t = hw.tile_load(off, buf, (i * 16, 0), (16, 64))
+        from repro.ir import Prim
+
+        assert isinstance(t.starts[0], Prim)
+        assert t.starts[0].op == "mul"

@@ -1,0 +1,189 @@
+"""Tests for memory nodes: banking, double buffering, capacities."""
+
+import pytest
+
+from repro.ir import (
+    BRAM,
+    Bool,
+    Design,
+    Float32,
+    IRError,
+    Int32,
+)
+from repro.ir import builder as hw
+from repro.ir.graph import replication
+
+
+class TestOffChipMem:
+    def test_dims_and_size(self):
+        with Design("d"):
+            m = hw.offchip("m", Float32, 16, 32)
+            assert m.dims == (16, 32)
+            assert m.size == 512
+            assert m.bytes == 2048
+
+    def test_bit_array_bytes(self):
+        with Design("d"):
+            m = hw.offchip("m", Bool, 64)
+            assert m.bytes == 8
+
+    def test_rejects_empty_dims(self):
+        with pytest.raises(IRError):
+            with Design("d"):
+                hw.offchip("m", Float32)
+
+    def test_rejects_nonpositive_dims(self):
+        with pytest.raises(IRError):
+            with Design("d"):
+                hw.offchip("m", Float32, 0)
+
+
+class TestBanking:
+    def test_banks_follow_pipe_par(self):
+        with Design("d") as d:
+            m = hw.bram("m", Float32, 64)
+            with hw.pipe("p", [(64, 1)], par=8) as p:
+                (j,) = p.iters
+                m[j] = m[j] + 1.0
+        assert m.banks == 8
+
+    def test_banks_follow_widest_accessor(self):
+        with Design("d") as d:
+            m = hw.bram("m", Float32, 64)
+            with hw.sequential("top"):
+                with hw.pipe("narrow", [(64, 1)], par=2) as p1:
+                    (j,) = p1.iters
+                    m[j] = 0.0
+                with hw.pipe("wide", [(64, 1)], par=16) as p2:
+                    (j,) = p2.iters
+                    m[j] = m[j] + 1.0
+        assert m.banks == 16
+
+    def test_tile_transfer_par_drives_banking(self):
+        with Design("d") as d:
+            a = hw.offchip("a", Float32, 64)
+            m = hw.bram("m", Float32, 64)
+            with hw.sequential("top"):
+                hw.tile_load(a, m, (0,), (64,), par=32)
+        assert m.banks == 32
+
+    def test_unaccessed_memory_single_bank(self):
+        with Design("d"):
+            m = hw.bram("m", Float32, 64)
+            with hw.sequential("top"):
+                with hw.pipe("p", [(4, 1)]):
+                    pass
+        assert m.banks == 1
+
+
+class TestDoubleBuffering:
+    def test_cross_stage_buffer_double_buffered(self):
+        with Design("d") as d:
+            with hw.sequential("top"):
+                with hw.metapipe("m", [(16, 1)]) as mp:
+                    buf = hw.bram("buf", Float32, 8)
+                    with hw.pipe("w", [(8, 1)]) as w:
+                        (j,) = w.iters
+                        buf[j] = 1.0
+                    with hw.pipe("r", [(8, 1)]) as r:
+                        (j,) = r.iters
+                        buf[j] + 1.0
+        assert buf.double_buffered
+
+    def test_same_stage_buffer_not_double_buffered(self):
+        with Design("d"):
+            with hw.sequential("top"):
+                with hw.metapipe("m", [(16, 1)]) as mp:
+                    buf = hw.bram("buf", Float32, 8)
+                    with hw.pipe("rw", [(8, 1)]) as rw:
+                        (j,) = rw.iters
+                        buf[j] = buf[j] + 1.0
+                    with hw.pipe("other", [(8, 1)]):
+                        pass
+        assert not buf.double_buffered
+
+    def test_sequential_loop_buffer_not_double_buffered(self):
+        with Design("d"):
+            with hw.sequential("top"):
+                with hw.sequential("loop", [(16, 1)]):
+                    buf = hw.bram("buf", Float32, 8)
+                    with hw.pipe("w", [(8, 1)]) as w:
+                        (j,) = w.iters
+                        buf[j] = 1.0
+                    with hw.pipe("r", [(8, 1)]) as r:
+                        (j,) = r.iters
+                        buf[j] + 0.0
+        assert not buf.double_buffered
+
+    def test_tile_load_counts_as_writer(self):
+        with Design("d"):
+            a = hw.offchip("a", Float32, 256)
+            with hw.sequential("top"):
+                with hw.metapipe("m", [(256, 16)]) as mp:
+                    (i,) = mp.iters
+                    buf = hw.bram("buf", Float32, 16)
+                    hw.tile_load(a, buf, (i,), (16,))
+                    with hw.pipe("r", [(16, 1)]) as r:
+                        (j,) = r.iters
+                        buf[j] + 1.0
+        assert buf.double_buffered
+
+    def test_metapipe_accum_target_double_buffered(self):
+        with Design("d"):
+            out = hw.arg_out("out", Float32)
+            with hw.sequential("top"):
+                with hw.metapipe(
+                    "m", [(16, 1)], accum=("add", out)
+                ) as mp:
+                    acc = hw.reg("acc", Float32)
+                    with hw.pipe("p", [(8, 1)], accum=("add", acc)) as p:
+                        (j,) = p.iters
+                        p.returns(hw.const(1.0, Float32))
+                    mp.returns(acc)
+        assert out.double_buffered
+
+
+class TestPriorityQueue:
+    def test_depth_recorded(self):
+        with Design("d"):
+            q = hw.pqueue("q", Float32, 16)
+            assert q.depth == 16
+            assert q.size == 16
+
+    def test_rejects_nonpositive_depth(self):
+        with pytest.raises(IRError):
+            with Design("d"):
+                hw.pqueue("q", Float32, 0)
+
+
+class TestReplication:
+    def test_replication_counts_outer_par(self):
+        with Design("d"):
+            with hw.sequential("top"):
+                with hw.metapipe("m", [(64, 1)], par=4):
+                    buf = hw.bram("buf", Float32, 8)
+                    with hw.pipe("p", [(8, 1)], par=2) as p:
+                        (j,) = p.iters
+                        buf[j] = 1.0
+        # The buffer is replicated by the MetaPipe's par, not the Pipe's.
+        assert replication(buf) == 4
+
+    def test_replication_of_nested_pars_multiplies(self):
+        with Design("d"):
+            with hw.sequential("top"):
+                with hw.metapipe("m1", [(64, 1)], par=2):
+                    with hw.metapipe("m2", [(32, 1)], par=4):
+                        buf = hw.bram("buf", Float32, 8)
+                        with hw.pipe("p", [(8, 1)]) as p:
+                            (j,) = p.iters
+                            buf[j] = 1.0
+        assert replication(buf) == 8
+
+    def test_pipe_par_not_counted_as_replication(self):
+        with Design("d"):
+            with hw.sequential("top"):
+                with hw.pipe("p", [(8, 1)], par=8) as p:
+                    (j,) = p.iters
+                    node = j + 1
+        assert replication(node) == 1
+        assert node.width == 8

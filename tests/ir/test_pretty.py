@@ -1,0 +1,76 @@
+"""Tests for the IR pretty printer."""
+
+from repro.apps import get_benchmark
+from repro.ir import Design, Float32, format_design
+from repro.ir import builder as hw
+
+
+def sample_design():
+    with Design("printer") as d:
+        a = hw.offchip("a", Float32, 64, 32)
+        out = hw.arg_out("res", Float32)
+        with hw.sequential("top"):
+            with hw.metapipe("m", [(64, 8)], par=2, accum=("add", out)) as m:
+                (i,) = m.iters
+                buf = hw.bram("buf", Float32, 8, 32)
+                hw.tile_load(a, buf, (i, 0), (8, 32), par=4)
+                acc = hw.reg("acc", Float32)
+                with hw.pipe("p", [(8, 1), (32, 1)], par=4,
+                             accum=("add", acc)) as p:
+                    r, c = p.iters
+                    p.returns(buf[r, c] * 2.0)
+                m.returns(acc)
+    return d
+
+
+class TestFormatting:
+    def test_header_and_offchip(self):
+        text = format_design(sample_design())
+        assert text.startswith("Design printer")
+        assert "OffChipMem a[64x32] : flt24_8" in text
+
+    def test_controller_tree_indented(self):
+        text = format_design(sample_design())
+        lines = text.splitlines()
+        seq = next(l for l in lines if "Sequential top" in l)
+        mp = next(l for l in lines if "MetaPipe m" in l)
+        pipe = next(l for l in lines if "Pipe p" in l)
+        assert len(mp) - len(mp.lstrip()) > len(seq) - len(seq.lstrip())
+        assert len(pipe) - len(pipe.lstrip()) > len(mp) - len(mp.lstrip())
+
+    def test_parameters_shown(self):
+        text = format_design(sample_design())
+        assert "par=2" in text and "par=4" in text
+        assert "pattern=reduce" in text
+        assert "accum=add->" in text
+
+    def test_counter_dims_shown(self):
+        text = format_design(sample_design())
+        assert "(64 by 8)" in text
+        assert "(8 by 1, 32 by 1)" in text
+
+    def test_memory_annotations(self):
+        text = format_design(sample_design())
+        assert "banks=4" in text
+        assert "double" in text
+
+    def test_tile_transfer_direction(self):
+        text = format_design(sample_design())
+        assert "<- a [8x32]" in text
+
+    def test_primitive_bodies_listed(self):
+        text = format_design(sample_design())
+        assert "mul(" in text
+        assert "ld buf[" in text
+
+    def test_vector_width_suffix(self):
+        text = format_design(sample_design())
+        assert "x4" in text
+
+    def test_all_benchmarks_printable(self):
+        for name in ("gda", "kmeans", "gemm"):
+            bench = get_benchmark(name)
+            ds = bench.small_dataset()
+            design = bench.build(ds, **bench.default_params(ds))
+            text = format_design(design)
+            assert len(text.splitlines()) > 10

@@ -1,0 +1,146 @@
+"""Tests for the parallel-pattern frontend and its lowering."""
+
+import numpy as np
+import pytest
+
+from repro.ir import MetaPipe, Pipe, Prim
+from repro.ir import builder as hw
+from repro.ir.types import Float32, Int32
+from repro.patterns import PatternError, input_vector, lower
+from repro.sim import FunctionalSim
+
+
+@pytest.fixture()
+def vec(rng):
+    return rng.normal(size=256)
+
+
+class TestLang:
+    def test_input_records_identity(self):
+        a = input_vector("a", Float32, 64)
+        assert a.op == "input" and a.length == 64
+
+    def test_map_preserves_length(self):
+        a = input_vector("a", Float32, 64)
+        m = a.map(lambda x: x * 2.0)
+        assert m.length == 64 and m.sources == [a]
+
+    def test_zip_requires_equal_lengths(self):
+        a = input_vector("a", Float32, 64)
+        b = input_vector("b", Float32, 32)
+        with pytest.raises(PatternError):
+            a.zip_with(b, lambda x, y: x + y)
+
+    def test_inputs_deduplicated(self):
+        a = input_vector("a", Float32, 64)
+        expr = a.zip_with(a.map(lambda x: x + 1.0), lambda x, y: x * y)
+        assert [c.name for c in expr.inputs()] == ["a"]
+
+    def test_nonpositive_length_rejected(self):
+        with pytest.raises(PatternError):
+            input_vector("a", Float32, 0)
+
+    def test_depth_counts_chain(self):
+        a = input_vector("a", Float32, 64)
+        chained = a.map(lambda x: x).map(lambda x: x).map(lambda x: x)
+        assert chained.depth() == 4
+
+
+class TestLoweringStructure:
+    def test_fusion_single_pipe(self):
+        """A map-map-zip chain must fuse into ONE Pipe (loop fusion)."""
+        a = input_vector("a", Float32, 128)
+        b = input_vector("b", Float32, 128)
+        prog = (
+            a.map(lambda x: x * 2.0)
+            .zip_with(b.map(lambda x: x + 1.0), lambda x, y: x - y)
+            .reduce("add")
+        )
+        design = lower(prog, tile=32)
+        pipes = [c for c in design.controllers() if isinstance(c, Pipe)]
+        assert len(pipes) == 1
+
+    def test_tiling_produces_transfers(self):
+        a = input_vector("a", Float32, 128)
+        design = lower(a.reduce("add"), tile=32)
+        assert design.stats()["tile_transfers"] == 1
+
+    def test_metapipe_toggle(self):
+        a = input_vector("a", Float32, 128)
+        d_mp = lower(a.reduce("add"), tile=32, metapipe=True)
+        d_seq = lower(a.reduce("add"), tile=32, metapipe=False)
+        assert any(isinstance(c, MetaPipe) for c in d_mp.controllers())
+        assert not any(isinstance(c, MetaPipe) for c in d_seq.controllers())
+
+    def test_nondivisor_tile_rejected(self):
+        a = input_vector("a", Float32, 100)
+        with pytest.raises(PatternError, match="divide"):
+            lower(a.reduce("add"), tile=33)
+
+    def test_nondivisor_par_rejected(self):
+        a = input_vector("a", Float32, 128)
+        with pytest.raises(PatternError):
+            lower(a.reduce("add"), tile=32, par=3)
+
+    def test_par_propagates_to_pipe(self):
+        a = input_vector("a", Float32, 128)
+        design = lower(a.reduce("add"), tile=32, par=8)
+        pipe = next(c for c in design.controllers() if isinstance(c, Pipe))
+        assert pipe.par == 8
+
+
+class TestLoweringSemantics:
+    def test_reduce_matches_numpy(self, vec):
+        a = input_vector("a", Float32, vec.size)
+        design = lower(a.reduce("add"), tile=64, par=4)
+        out = FunctionalSim(design).run({"a": vec})
+        assert out["out"] == pytest.approx(vec.sum())
+
+    def test_max_reduce(self, vec):
+        a = input_vector("a", Float32, vec.size)
+        design = lower(a.reduce("max"), tile=64)
+        out = FunctionalSim(design).run({"a": vec})
+        assert out["out"] == vec.max()
+
+    def test_fused_zip_map_reduce(self, vec, rng):
+        other = rng.normal(size=vec.size)
+        a = input_vector("a", Float32, vec.size)
+        b = input_vector("b", Float32, vec.size)
+        prog = a.zip_with(b, lambda x, y: x * y).map(
+            lambda x: hw.abs_(x)
+        ).reduce("add")
+        out = FunctionalSim(lower(prog, tile=64)).run(
+            {"a": vec, "b": other}
+        )
+        assert out["out"] == pytest.approx(np.abs(vec * other).sum())
+
+    def test_filter_reduce(self, vec):
+        a = input_vector("a", Float32, vec.size)
+        prog = a.filter_reduce(lambda x: x > 0.5, "add")
+        out = FunctionalSim(lower(prog, tile=64)).run({"a": vec})
+        assert out["out"] == pytest.approx(vec[vec > 0.5].sum())
+
+    def test_collect_writes_output_array(self, vec):
+        a = input_vector("a", Float32, vec.size)
+        prog = a.map(lambda x: x * x).collect("squares")
+        out = FunctionalSim(lower(prog, tile=64, par=8)).run({"a": vec})
+        np.testing.assert_allclose(out["squares"], vec**2)
+
+    def test_group_by_reduce_histogram(self, vec):
+        a = input_vector("a", Float32, vec.size)
+        prog = a.group_by_reduce(
+            lambda x: hw.mux(x > 0.0, hw.const(1), hw.const(0)),
+            num_groups=2,
+            op="add",
+        )
+        out = FunctionalSim(lower(prog, tile=64)).run({"a": vec})
+        np.testing.assert_allclose(
+            out["groups"], [vec[vec <= 0].sum(), vec[vec > 0].sum()]
+        )
+
+    def test_lowered_design_estimable(self, vec, estimator):
+        a = input_vector("a", Float32, 1 << 20)
+        design = lower(a.map(lambda x: x * 3.0).reduce("add"),
+                       tile=4096, par=8)
+        est = estimator.estimate(design)
+        assert est.cycles > 0 and est.alms > 0

@@ -1,0 +1,235 @@
+"""Tests for the functional interpreter: ops, transfers, reductions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ir import Design, Float32, Index, Int32
+from repro.ir import builder as hw
+from repro.sim import FunctionalSim
+
+
+def run_unary(op_fn, x):
+    with Design("u") as d:
+        a = hw.offchip("a", Float32, 4)
+        out = hw.offchip("out", Float32, 4)
+        with hw.sequential("top"):
+            aT = hw.bram("aT", Float32, 4)
+            oT = hw.bram("oT", Float32, 4)
+            hw.tile_load(a, aT, (0,), (4,))
+            with hw.pipe("p", [(4, 1)]) as p:
+                (j,) = p.iters
+                oT[j] = op_fn(aT[j])
+            hw.tile_store(out, oT, (0,), (4,))
+    return FunctionalSim(d).run({"a": np.full(4, x)})["out"][0]
+
+
+class TestPrimitiveSemantics:
+    def test_sqrt(self):
+        assert run_unary(hw.sqrt, 9.0) == pytest.approx(3.0)
+
+    def test_exp_log_roundtrip(self):
+        assert run_unary(lambda v: hw.log(hw.exp(v)), 1.5) == pytest.approx(1.5)
+
+    def test_abs_neg(self):
+        assert run_unary(lambda v: hw.abs_(-v), 2.5) == pytest.approx(2.5)
+
+    def test_floor(self):
+        assert run_unary(hw.floor, 2.75) == pytest.approx(2.0)
+
+    def test_min_max(self):
+        assert run_unary(lambda v: hw.minimum(v, 1.0), 2.0) == 1.0
+        assert run_unary(lambda v: hw.maximum(v, 5.0), 2.0) == 5.0
+
+    def test_mux_both_branches(self):
+        assert run_unary(lambda v: hw.mux(v > 1.0, v * 10.0, v), 2.0) == 20.0
+        assert run_unary(lambda v: hw.mux(v > 1.0, v * 10.0, v), 0.5) == 0.5
+
+    def test_div(self):
+        assert run_unary(lambda v: v / 4.0, 10.0) == pytest.approx(2.5)
+
+    def test_boolean_connectives(self):
+        val = run_unary(
+            lambda v: hw.mux((v > 1.0) & (v < 3.0), 1.0, 0.0), 2.0
+        )
+        assert val == 1.0
+        val = run_unary(
+            lambda v: hw.mux((v > 1.0) | (v < -1.0), 1.0, 0.0), -2.0
+        )
+        assert val == 1.0
+        val = run_unary(lambda v: hw.mux(~(v > 1.0), 1.0, 0.0), 0.0)
+        assert val == 1.0
+
+
+class TestTileTransfers:
+    def test_2d_tile_load_region(self):
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 8, 8)
+            out = hw.offchip("out", Float32, 8, 8)
+            with hw.sequential("top"):
+                with hw.sequential("loop", [(8, 4), (8, 4)]) as lp:
+                    i, j = lp.iters
+                    buf = hw.bram("buf", Float32, 4, 4)
+                    hw.tile_load(a, buf, (i, j), (4, 4))
+                    with hw.pipe("p", [(4, 1), (4, 1)]) as p:
+                        ii, jj = p.iters
+                        buf[ii, jj] = buf[ii, jj] * 2.0
+                    hw.tile_store(out, buf, (i, j), (4, 4))
+        x = np.arange(64, dtype=float).reshape(8, 8)
+        out = FunctionalSim(d).run({"a": x})["out"]
+        np.testing.assert_allclose(out, x * 2)
+
+    def test_row_of_2d_into_1d_bram(self):
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 4, 8)
+            out = hw.offchip("out", Float32, 4, 8)
+            with hw.sequential("top"):
+                with hw.sequential("rows", [(4, 1)]) as rows:
+                    (r,) = rows.iters
+                    buf = hw.bram("buf", Float32, 8)
+                    hw.tile_load(a, buf, (r, 0), (1, 8))
+                    with hw.pipe("p", [(8, 1)]) as p:
+                        (j,) = p.iters
+                        buf[j] = buf[j] + 1.0
+                    hw.tile_store(out, buf, (r, 0), (1, 8))
+        x = np.arange(32, dtype=float).reshape(4, 8)
+        out = FunctionalSim(d).run({"a": x})["out"]
+        np.testing.assert_allclose(out, x + 1)
+
+    def test_missing_input_defaults_to_zeros(self):
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 4)
+            out = hw.arg_out("out", Float32)
+            with hw.sequential("top"):
+                buf = hw.bram("buf", Float32, 4)
+                hw.tile_load(a, buf, (0,), (4,))
+                acc = hw.reg("acc", Float32)
+                with hw.pipe("p", [(4, 1)], accum=("add", acc)) as p:
+                    (j,) = p.iters
+                    p.returns(buf[j])
+        assert FunctionalSim(d).run({})["out"] == 0.0
+
+    def test_wrong_shape_rejected(self):
+        from repro.ir import IRError
+
+        with Design("t") as d:
+            hw.offchip("a", Float32, 4)
+            with hw.sequential("top"):
+                with hw.pipe("p", [(1, 1)]):
+                    pass
+        with pytest.raises(IRError, match="shape"):
+            FunctionalSim(d).run({"a": np.zeros(5)})
+
+
+class TestReductions:
+    def test_accum_resets_per_execution(self):
+        """A Pipe's accumulator must reset each time the pipe re-executes."""
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 16)
+            out = hw.offchip("out", Float32, 4)
+            with hw.sequential("top"):
+                aT = hw.bram("aT", Float32, 16)
+                oT = hw.bram("oT", Float32, 4)
+                hw.tile_load(a, aT, (0,), (16,))
+                with hw.sequential("groups", [(4, 1)]) as g:
+                    (gi,) = g.iters
+                    acc = hw.reg("acc", Float32)
+                    with hw.pipe("sum4", [(4, 1)], accum=("add", acc)) as p:
+                        (j,) = p.iters
+                        p.returns(aT[gi * 4 + j])
+                    with hw.pipe("wr"):
+                        oT[gi] = acc.read()
+                hw.tile_store(out, oT, (0,), (4,))
+        x = np.arange(16, dtype=float)
+        out = FunctionalSim(d).run({"a": x})["out"]
+        np.testing.assert_allclose(out, x.reshape(4, 4).sum(axis=1))
+
+    def test_min_max_reduction(self):
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 8)
+            lo = hw.arg_out("lo", Float32)
+            with hw.sequential("top"):
+                aT = hw.bram("aT", Float32, 8)
+                hw.tile_load(a, aT, (0,), (8,))
+                with hw.pipe("m", [(8, 1)], accum=("min", lo)) as p:
+                    (j,) = p.iters
+                    p.returns(aT[j])
+        x = np.array([5.0, 2.0, 8.0, -1.0, 3.0, 9.0, 0.0, 4.0])
+        assert FunctionalSim(d).run({"a": x})["lo"] == -1.0
+
+    def test_bram_accumulation_elementwise(self):
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 4, 4)
+            out = hw.offchip("out", Float32, 4)
+            with hw.sequential("top"):
+                total = hw.bram("total", Float32, 4)
+                with hw.metapipe(
+                    "rows", [(4, 1)], accum=("add", total)
+                ) as rows:
+                    (r,) = rows.iters
+                    rowT = hw.bram("rowT", Float32, 4)
+                    hw.tile_load(a, rowT, (r, 0), (1, 4))
+                    rows.returns(rowT)
+                hw.tile_store(out, total, (0,), (4,))
+        x = np.arange(16, dtype=float).reshape(4, 4)
+        out = FunctionalSim(d).run({"a": x})["out"]
+        np.testing.assert_allclose(out, x.sum(axis=0))
+
+
+class TestPriorityQueue:
+    def test_keeps_smallest(self):
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 8)
+            out = hw.offchip("out", Float32, 3)
+            with hw.sequential("top"):
+                aT = hw.bram("aT", Float32, 8)
+                oT = hw.bram("oT", Float32, 3)
+                hw.tile_load(a, aT, (0,), (8,))
+                q = hw.pqueue("q", Float32, 3)
+                with hw.pipe("fill", [(8, 1)]) as p:
+                    (j,) = p.iters
+                    q.enqueue(aT[j])
+                with hw.pipe("drain", [(3, 1)]) as dr:
+                    (j,) = dr.iters
+                    oT[j] = q.peek(j)
+                hw.tile_store(out, oT, (0,), (3,))
+        x = np.array([5.0, 2.0, 8.0, 1.0, 9.0, 3.0, 7.0, 4.0])
+        out = FunctionalSim(d).run({"a": x})["out"]
+        np.testing.assert_allclose(out, [1.0, 2.0, 3.0])
+
+    def test_descending_queue(self):
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 4)
+            top1 = hw.arg_out("top1", Float32)
+            with hw.sequential("top"):
+                aT = hw.bram("aT", Float32, 4)
+                hw.tile_load(a, aT, (0,), (4,))
+                q = hw.pqueue("q", Float32, 2, ascending=False)
+                with hw.pipe("fill", [(4, 1)]) as p:
+                    (j,) = p.iters
+                    q.enqueue(aT[j])
+                with hw.pipe("peek"):
+                    top1.write(q.peek(0))
+        x = np.array([5.0, 2.0, 8.0, 1.0])
+        assert FunctionalSim(d).run({"a": x})["top1"] == 8.0
+
+
+class TestDataDependentAddressing:
+    def test_scatter_accumulate(self):
+        """Stores with data-dependent indices (kmeans-style scatter)."""
+        with Design("t") as d:
+            a = hw.offchip("a", Float32, 8)
+            out = hw.offchip("out", Float32, 2)
+            with hw.sequential("top"):
+                aT = hw.bram("aT", Float32, 8)
+                hist = hw.bram("hist", Float32, 2)
+                hw.tile_load(a, aT, (0,), (8,))
+                with hw.pipe("scatter", [(8, 1)]) as p:
+                    (j,) = p.iters
+                    key = hw.mux(aT[j] > 0.0, hw.const(1), hw.const(0))
+                    hist[key] = hist[key] + 1.0
+                hw.tile_store(out, hist, (0,), (2,))
+        x = np.array([1.0, -2.0, 3.0, -4.0, 5.0, 6.0, -7.0, 8.0])
+        out = FunctionalSim(d).run({"a": x})["out"]
+        np.testing.assert_allclose(out, [3.0, 5.0])

@@ -1,0 +1,110 @@
+"""Tests for bit-accurate fixed-point quantization in functional sim."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir import Design, FixPt
+from repro.ir import builder as hw
+from repro.sim import FunctionalSim
+from repro.sim.functional import quantize_fixed
+
+
+def passthrough_design(tp, op=None):
+    with Design("q") as d:
+        a = hw.offchip("a", tp, 4)
+        out = hw.offchip("out", tp, 4)
+        with hw.sequential("top"):
+            buf = hw.bram("buf", tp, 4)
+            ob = hw.bram("ob", tp, 4)
+            hw.tile_load(a, buf, (0,), (4,))
+            with hw.pipe("p", [(4, 1)]) as p:
+                (j,) = p.iters
+                v = buf[j]
+                ob[j] = op(v) if op else v + 0.0
+            hw.tile_store(out, ob, (0,), (4,))
+    return d
+
+
+class TestQuantizeFixed:
+    def test_snaps_to_grid(self):
+        q = FixPt(True, 4, 4)
+        assert quantize_fixed(1.03, q) == pytest.approx(1.0)
+        assert quantize_fixed(1.04, q) == pytest.approx(1.0625)
+
+    def test_saturates_high(self):
+        q = FixPt(True, 4, 4)
+        assert quantize_fixed(100.0, q) == pytest.approx(8.0 - 1 / 16)
+
+    def test_saturates_low(self):
+        q = FixPt(True, 4, 4)
+        assert quantize_fixed(-100.0, q) == -8.0
+
+    def test_unsigned_floor_zero(self):
+        q = FixPt(False, 4, 4)
+        assert quantize_fixed(-3.0, q) == 0.0
+
+    def test_integers_exact(self):
+        q = FixPt(True, 32, 0)
+        for v in (-7.0, 0.0, 123456.0):
+            assert quantize_fixed(v, q) == v
+
+    @given(st.floats(-7.9, 7.9))
+    def test_idempotent(self, x):
+        q = FixPt(True, 4, 4)
+        once = quantize_fixed(x, q)
+        assert quantize_fixed(once, q) == once
+
+    @given(st.floats(-7.0, 7.0))
+    def test_error_bounded_by_half_ulp(self, x):
+        q = FixPt(True, 4, 4)
+        assert abs(quantize_fixed(x, q) - x) <= 1 / 32 + 1e-12
+
+
+class TestQuantizedExecution:
+    def test_multiply_rounds_per_node(self):
+        q = FixPt(True, 4, 4)
+        d = passthrough_design(q, op=lambda v: v * v)
+        x = np.array([1.1, 0.3, 2.7, -1.9])
+        out = FunctionalSim(d, quantize=True).run({"a": x})["out"]
+        expected = [
+            quantize_fixed(quantize_fixed(v, q) ** 2, q)
+            for v in x
+        ]
+        # Inputs are loaded unquantized; first op result quantizes.
+        expected = [quantize_fixed(v * v, q) for v in x]
+        np.testing.assert_allclose(out, expected)
+
+    def test_default_mode_unquantized(self):
+        q = FixPt(True, 4, 4)
+        d = passthrough_design(q, op=lambda v: v * v)
+        x = np.array([1.1, 0.3, 2.7, -1.9])
+        out = FunctionalSim(d).run({"a": x})["out"]
+        np.testing.assert_allclose(out, x * x)
+
+    def test_float_types_untouched(self):
+        from repro.ir import Float32
+
+        d = passthrough_design(Float32, op=lambda v: v * 1.1)
+        x = np.array([1.1, 0.3, 2.7, -1.9])
+        exact = FunctionalSim(d).run({"a": x})["out"]
+        quant = FunctionalSim(d, quantize=True).run({"a": x})["out"]
+        np.testing.assert_array_equal(exact, quant)
+
+    def test_saturating_accumulator(self):
+        q = FixPt(True, 4, 4)
+        with Design("sat") as d:
+            a = hw.offchip("a", q, 8)
+            out = hw.offchip("out", q, 8)
+            with hw.sequential("top"):
+                buf = hw.bram("buf", q, 8)
+                ob = hw.bram("ob", q, 8)
+                hw.tile_load(a, buf, (0,), (8,))
+                with hw.pipe("p", [(8, 1)]) as p:
+                    (j,) = p.iters
+                    ob[j] = buf[j] + buf[j]
+                hw.tile_store(out, ob, (0,), (8,))
+        x = np.full(8, 6.0)  # 6+6 = 12 overflows Q4.4
+        out = FunctionalSim(d, quantize=True).run({"a": x})["out"]
+        np.testing.assert_allclose(out, np.full(8, 8.0 - 1 / 16))

@@ -1,0 +1,134 @@
+"""Property tests for ground-truth template cost functions."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.types import Bool, FixPt, Float32
+from repro.synth import atoms
+from repro.target import STRATIX_V
+
+
+class TestPrimCosts:
+    def test_float_ops_cost_more_than_fixed(self):
+        f = atoms.prim_cost("add", Float32, 1)
+        i = atoms.prim_cost("add", FixPt(True, 32, 0), 1)
+        assert f.luts > i.luts
+
+    def test_float_mul_uses_dsp(self):
+        assert atoms.prim_cost("mul", Float32, 1).dsps == 1
+
+    def test_double_precision_mul_uses_more_dsps(self):
+        from repro.ir.types import Float64
+
+        assert atoms.prim_cost("mul", Float64, 1).dsps > 1
+
+    def test_dsps_exact_per_lane(self):
+        for width in (1, 3, 16, 48):
+            assert atoms.prim_cost("mul", Float32, width).dsps == width
+
+    def test_bit_logic_tiny(self):
+        a = atoms.prim_cost("and", Bool, 1)
+        assert a.luts < 5
+
+    @given(st.sampled_from(["add", "mul", "div", "mux", "lt"]),
+           st.sampled_from([1, 2, 4, 8, 16, 32, 64]))
+    def test_monotone_in_width(self, op, width):
+        one = atoms.prim_cost(op, Float32, width)
+        two = atoms.prim_cost(op, Float32, width * 2)
+        assert two.luts > one.luts
+        assert two.regs > one.regs
+
+    @given(st.sampled_from([8, 16, 32, 64]))
+    def test_monotone_in_bits(self, bits):
+        narrow = atoms.prim_cost("add", FixPt(True, bits, 0), 1)
+        wide = atoms.prim_cost("add", FixPt(True, bits * 2, 0), 1)
+        assert wide.luts > narrow.luts
+
+    def test_sublinear_sharing_never_below_80_percent(self):
+        lane = atoms.prim_cost("add", Float32, 1)
+        wide = atoms.prim_cost("add", Float32, 64)
+        assert wide.luts >= 0.8 * 64 * lane.luts * 0.9
+
+
+class TestMemoryCosts:
+    def test_bram_blocks_scale_with_banks(self):
+        few = atoms.bram_cost(4096, 32, 1, False, STRATIX_V.bram_blocks_for)
+        many = atoms.bram_cost(4096, 32, 16, False, STRATIX_V.bram_blocks_for)
+        # More banks with fewer words each under-utilize block capacity
+        # (the paper's BRAM observation for gda/kmeans).
+        assert many.brams >= few.brams
+
+    def test_double_buffering_doubles_blocks(self):
+        single = atoms.bram_cost(4096, 32, 4, False, STRATIX_V.bram_blocks_for)
+        double = atoms.bram_cost(4096, 32, 4, True, STRATIX_V.bram_blocks_for)
+        assert double.brams == 2 * single.brams
+
+    def test_small_bank_rounds_to_one_block(self):
+        tiny = atoms.bram_cost(64, 32, 1, False, STRATIX_V.bram_blocks_for)
+        assert tiny.brams == 1
+
+    def test_reg_cost_scales_with_bits(self):
+        assert atoms.reg_cost(64, False).regs > atoms.reg_cost(8, False).regs
+
+    def test_reg_double_buffered_costs_double(self):
+        single = atoms.reg_cost(32, False).regs
+        double = atoms.reg_cost(32, True).regs
+        assert double > 1.8 * single
+
+    def test_pqueue_scales_with_depth(self):
+        small = atoms.pqueue_cost(8, 32, False)
+        large = atoms.pqueue_cost(64, 32, False)
+        assert large.luts > 6 * small.luts
+
+
+class TestDeviceGeometry:
+    def test_f32_words_per_m20k(self):
+        # 32-bit words use the 512x40 configuration: 512 words per block.
+        assert STRATIX_V.bram_blocks_for(512, 32) == 1
+        assert STRATIX_V.bram_blocks_for(513, 32) == 2
+
+    def test_wide_words_split_across_blocks(self):
+        assert STRATIX_V.bram_blocks_for(512, 80) == 2
+
+    def test_single_bit_memory_deep_blocks(self):
+        assert STRATIX_V.bram_blocks_for(16 * 1024, 1) == 1
+
+    def test_zero_words_zero_blocks(self):
+        assert STRATIX_V.bram_blocks_for(0, 32) == 0
+
+
+class TestTransferAndControl:
+    def test_transfer_grows_with_par(self):
+        one = atoms.tile_transfer_cost(32, 1, 1, True)
+        wide = atoms.tile_transfer_cost(32, 16, 1, True)
+        assert wide.luts > one.luts
+        assert wide.brams >= one.brams
+
+    def test_store_pays_write_path(self):
+        ld = atoms.tile_transfer_cost(32, 4, 16, True)
+        st_ = atoms.tile_transfer_cost(32, 4, 16, False)
+        assert st_.luts > ld.luts
+
+    def test_metapipe_control_scales_with_stages(self):
+        assert (
+            atoms.metapipe_control_cost(8).luts
+            > atoms.metapipe_control_cost(2).luts
+        )
+
+    def test_delay_cost_regs_vs_bram(self):
+        regs = atoms.delay_cost(320, False, STRATIX_V.bram_blocks_for)
+        bram = atoms.delay_cost(32 * 600, True, STRATIX_V.bram_blocks_for)
+        assert regs.regs == 320 and regs.brams == 0
+        assert bram.brams >= 1
+
+
+class TestAtomContainer:
+    def test_scaled(self):
+        a = atoms.Atom(10, 5, 20, 2, 1, wires=8)
+        s = a.scaled(3)
+        assert s.luts == 45 and s.regs == 60 and s.dsps == 6
+
+    def test_add_accumulates(self):
+        a = atoms.Atom(1, 1, 1, 1, 1)
+        a.add(atoms.Atom(2, 3, 4, 5, 6))
+        assert (a.luts_packable, a.regs, a.brams) == (3, 5, 7)

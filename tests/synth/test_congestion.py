@@ -1,0 +1,58 @@
+"""Tests for the congestion and fragmentation models."""
+
+from repro.synth.congestion import compute_congestion, fragmentation
+
+
+def stats(**overrides):
+    base = {
+        "total_wires": 1e4,
+        "total_banks": 8.0,
+        "max_depth": 3.0,
+        "num_atoms": 50.0,
+        "num_tile_transfers": 2.0,
+        "raw_luts": 5000.0,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestCongestion:
+    def test_bounded(self):
+        assert 0.4 <= compute_congestion(stats()) <= 2.5
+        assert compute_congestion(stats(total_wires=1e12,
+                                        total_banks=1e6,
+                                        max_depth=50.0)) == 2.5
+        assert compute_congestion({"total_wires": 0.0}) >= 0.4
+
+    def test_monotone_in_wires(self):
+        lo = compute_congestion(stats(total_wires=1e3))
+        hi = compute_congestion(stats(total_wires=1e7))
+        assert hi > lo
+
+    def test_monotone_in_banks(self):
+        lo = compute_congestion(stats(total_banks=1.0))
+        hi = compute_congestion(stats(total_banks=512.0))
+        assert hi > lo
+
+    def test_monotone_in_depth(self):
+        lo = compute_congestion(stats(max_depth=1.0))
+        hi = compute_congestion(stats(max_depth=6.0))
+        assert hi > lo
+
+    def test_transfers_add_pressure(self):
+        lo = compute_congestion(stats(num_tile_transfers=0.0))
+        hi = compute_congestion(stats(num_tile_transfers=16.0))
+        assert hi > lo
+
+
+class TestFragmentation:
+    def test_bounded(self):
+        assert 0.6 <= fragmentation(stats()) <= 1.8
+
+    def test_many_small_modules_fragment_more(self):
+        chunky = fragmentation(stats(num_atoms=10.0, raw_luts=50_000.0))
+        granular = fragmentation(stats(num_atoms=2_000.0, raw_luts=50_000.0))
+        assert granular > chunky
+
+    def test_empty_stats_safe(self):
+        assert 0.6 <= fragmentation({}) <= 1.8

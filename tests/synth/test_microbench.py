@@ -1,0 +1,61 @@
+"""Tests for the characterization microbenchmark interface."""
+
+import pytest
+
+from repro.synth.microbench import characterize
+from repro.target import STRATIX_V
+
+
+class TestDispatch:
+    def test_prim_families(self):
+        flt = characterize("prim", op="add", family="flt", bits=32, width=2)
+        fix = characterize("prim", op="add", family="fix", bits=32, width=2)
+        bit = characterize("prim", op="and", family="bit", bits=1, width=2)
+        assert flt.luts > fix.luts > bit.luts
+
+    def test_double_precision_selected_by_bits(self):
+        single = characterize("prim", op="mul", family="flt", bits=32)
+        double = characterize("prim", op="mul", family="flt", bits=64)
+        assert double.dsps > single.dsps
+
+    def test_memory_kinds(self):
+        bram = characterize("bram", words=2048, bits=32, banks=2)
+        reg = characterize("reg", bits=32)
+        pq = characterize("pqueue", depth=16, bits=32)
+        assert bram.brams > 0
+        assert reg.regs >= 32
+        assert pq.regs > reg.regs
+
+    def test_controller_kinds(self):
+        for kind in ("pipe", "metapipe", "sequential", "parallel"):
+            atom = characterize(kind, n=4)
+            assert atom.luts > 0
+
+    def test_transfer_kinds(self):
+        ld = characterize("tile_transfer", bits=32, par=4, num_commands=8,
+                          is_load=True)
+        st_ = characterize("tile_transfer", bits=32, par=4, num_commands=8,
+                           is_load=False)
+        assert st_.luts > ld.luts
+
+    def test_counter(self):
+        atom = characterize("counter", ndims=2, par=4)
+        assert atom.regs > 0
+
+    def test_load_store(self):
+        ld = characterize("load", bits=32, width=4, banks=4)
+        st_ = characterize("store", bits=32, width=4, banks=4)
+        assert ld.luts > 0 and st_.luts > 0
+
+    def test_delay_bram(self):
+        atom = characterize("delay_bram", bit_cycles=32 * 600)
+        assert atom.brams >= 1
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            characterize("carbon_nanotube")
+
+    def test_device_geometry_respected(self):
+        small = characterize("bram", words=256, bits=32, banks=1,
+                             device=STRATIX_V)
+        assert small.brams == 1  # one M20K minimum per bank

@@ -1,0 +1,170 @@
+"""Tests for the synthesis substrate: determinism, invariants, effects."""
+
+import pytest
+
+from repro.ir import Design, Float32
+from repro.ir import builder as hw
+from repro.synth import design_fingerprint, expand, synthesize
+from repro.target import MAIA, STRATIX_V
+
+
+def build_design(tile=512, par=4, metapipe=True, name="dp"):
+    n = 16384
+    with Design(name) as d:
+        a = hw.offchip("a", Float32, n)
+        b = hw.offchip("b", Float32, n)
+        out = hw.arg_out("out", Float32)
+        with hw.sequential("top"):
+            with hw.loop("tiles", [(n, tile)], metapipe_=metapipe,
+                         accum=("add", out)) as tiles:
+                (i,) = tiles.iters
+                aT = hw.bram("aT", Float32, tile)
+                bT = hw.bram("bT", Float32, tile)
+                with hw.parallel():
+                    hw.tile_load(a, aT, (i,), (tile,), par=par)
+                    hw.tile_load(b, bT, (i,), (tile,), par=par)
+                acc = hw.reg("acc", Float32)
+                with hw.pipe("mac", [(tile, 1)], par=par,
+                             accum=("add", acc)) as mac:
+                    (j,) = mac.iters
+                    mac.returns(aT[j] * bT[j])
+                tiles.returns(acc)
+    return d
+
+
+class TestDeterminism:
+    def test_same_design_same_report(self):
+        r1 = synthesize(build_design())
+        r2 = synthesize(build_design())
+        assert r1.alms == r2.alms
+        assert r1.brams == r2.brams
+        assert r1.regs == r2.regs
+
+    def test_different_points_different_noise(self):
+        r1 = synthesize(build_design(tile=512))
+        r2 = synthesize(build_design(tile=1024))
+        assert r1.alms != r2.alms
+
+    def test_fingerprint_stable(self):
+        assert design_fingerprint(build_design()) == design_fingerprint(
+            build_design()
+        )
+
+    def test_fingerprint_differs_across_params(self):
+        assert design_fingerprint(build_design(par=4)) != design_fingerprint(
+            build_design(par=8)
+        )
+
+    def test_seed_changes_noise(self):
+        d = build_design()
+        assert synthesize(d, seed=0).alms != synthesize(d, seed=99).alms
+
+
+class TestReportInvariants:
+    def test_positive_resources(self):
+        r = synthesize(build_design())
+        assert r.alms > 0 and r.brams > 0 and r.regs > 0
+
+    def test_dsps_counted_per_lane(self):
+        # One float multiplier lane per par, exactly.
+        r4 = synthesize(build_design(par=4))
+        r8 = synthesize(build_design(par=8))
+        assert r8.dsps > r4.dsps
+
+    def test_fits_on_device(self):
+        r = synthesize(build_design())
+        assert r.fits()
+        util = r.utilization()
+        assert 0 < util["alms"] < 1
+
+    def test_breakdown_sums_plausibly(self):
+        r = synthesize(build_design())
+        assert r.total_luts > r.raw_luts_packable + r.raw_luts_unpackable
+
+    def test_area_grows_with_par(self):
+        alms = [synthesize(build_design(par=p)).alms for p in (1, 4, 16)]
+        assert alms[0] < alms[1] < alms[2]
+
+    def test_brams_grow_with_tile(self):
+        brams = [
+            synthesize(build_design(tile=t)).brams for t in (512, 4096)
+        ]
+        assert brams[0] < brams[1]
+
+    def test_metapipe_doubles_buffers(self):
+        r_mp = synthesize(build_design(metapipe=True))
+        r_seq = synthesize(build_design(metapipe=False))
+        assert r_mp.brams > r_seq.brams
+
+
+class TestSectionIVAEffects:
+    """The low-level effect magnitudes the paper reports (Section IV-A)."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        return [
+            synthesize(build_design(tile=t, par=p))
+            for t, p in [(512, 4), (1024, 8), (2048, 16), (4096, 8)]
+        ]
+
+    def test_pack_rate_near_eighty_percent(self, reports):
+        for r in reports:
+            assert 0.6 <= r.packed_fraction <= 0.95
+
+    def test_routing_luts_single_digit_fraction(self, reports):
+        for r in reports:
+            frac = r.routing_luts / max(
+                r.raw_luts_packable + r.raw_luts_unpackable, 1
+            )
+            assert 0.03 <= frac <= 0.25
+
+    def test_duplicated_regs_about_five_percent(self, reports):
+        for r in reports:
+            frac = r.duplicated_regs / max(r.regs, 1)
+            assert 0.01 <= frac <= 0.15
+
+    def test_bram_duplication_in_paper_range(self, reports):
+        for r in reports:
+            raw_brams = r.brams - r.duplicated_brams
+            frac = r.duplicated_brams / max(raw_brams, 1)
+            assert 0.0 <= frac <= 1.0
+
+    def test_unavailable_luts_small(self, reports):
+        for r in reports:
+            frac = r.unavailable_luts / max(r.total_luts, 1)
+            assert 0.005 <= frac <= 0.12
+
+
+class TestNetlistExpansion:
+    def test_tags_present(self):
+        net = expand(build_design(), STRATIX_V)
+        tags = set(net.totals_by_tag())
+        assert {"prim", "tile_transfer", "bram", "counter"} <= tags
+
+    def test_totals_additive(self):
+        net = expand(build_design(), STRATIX_V)
+        total = net.totals()
+        by_tag = net.totals_by_tag()
+        assert total.luts == pytest.approx(
+            sum(a.luts for a in by_tag.values())
+        )
+
+    def test_replication_scales_subtree(self):
+        def build(par_outer):
+            with Design("rep") as d:
+                with hw.sequential("top"):
+                    with hw.metapipe("m", [(64, 1)], par=par_outer):
+                        buf = hw.bram("buf", Float32, 8)
+                        with hw.pipe("p", [(8, 1)]) as p:
+                            (j,) = p.iters
+                            buf[j] = buf[j] * 2.0
+            return d
+
+        base = expand(build(1), STRATIX_V).totals()
+        quad = expand(build(4), STRATIX_V).totals()
+        assert quad.luts > 3.0 * base.luts * 0.8
+
+    def test_stats_collected(self):
+        net = expand(build_design(), STRATIX_V)
+        assert net.stats["num_controllers"] >= 4
+        assert net.stats["raw_luts"] > 0

@@ -1,0 +1,78 @@
+"""Tests for timing analysis (propagation delays, Fmax)."""
+
+import pytest
+
+from repro.ir import Design, Float32, Int32
+from repro.ir import builder as hw
+from repro.synth import achieved_fmax_hz, design_max_stage_ns, meets_clock
+from repro.synth.timing import stage_delay_ns
+from repro.target import MAIA
+
+
+def design_with_ops(*ops):
+    with Design("timing") as d:
+        buf = hw.bram("buf", Float32, 64)
+        with hw.sequential("top"):
+            with hw.pipe("p", [(64, 1)]) as p:
+                (j,) = p.iters
+                v = buf[j]
+                for op in ops:
+                    v = hw._unary(op, v) if op in (
+                        "sqrt", "log", "exp", "abs", "floor"
+                    ) else v._binop(op, v)
+                buf[j] = v
+    return d
+
+
+class TestStageDelays:
+    def test_float_ops_slower_than_logic(self):
+        fast = design_with_ops("abs")
+        slow = design_with_ops("log")
+        assert design_max_stage_ns(slow) > design_max_stage_ns(fast)
+
+    def test_congestion_adds_routing_delay(self):
+        d = design_with_ops("add")
+        assert design_max_stage_ns(d, congestion=2.0) > design_max_stage_ns(
+            d, congestion=0.5
+        )
+
+    def test_constants_have_no_delay(self):
+        with Design("c") as d:
+            with hw.sequential("top"):
+                with hw.pipe("p", [(4, 1)]):
+                    hw.const(1.0)
+        assert design_max_stage_ns(d) == 1.0  # floor value
+
+    def test_stage_delay_of_noncompute_zero(self):
+        with Design("c"):
+            with hw.sequential("top") as top:
+                with hw.pipe("p", [(4, 1)]):
+                    pass
+        assert stage_delay_ns(top) == 0.0
+
+
+class TestFmax:
+    def test_designs_meet_150mhz(self):
+        """All templates are pipelined for the paper's fabric clock."""
+        for ops in (("add", "mul"), ("log",), ("div", "sqrt")):
+            d = design_with_ops(*ops)
+            assert meets_clock(d, MAIA.fabric_clock_hz)
+
+    def test_fmax_reciprocal_relationship(self):
+        d = design_with_ops("mul")
+        assert achieved_fmax_hz(d) == pytest.approx(
+            1e9 / design_max_stage_ns(d)
+        )
+
+    def test_heavily_congested_design_fails_timing(self):
+        d = design_with_ops("log")
+        assert not meets_clock(d, MAIA.fabric_clock_hz, congestion=5.0)
+
+    def test_int_ops_comfortably_fast(self):
+        with Design("i") as d:
+            buf = hw.bram("buf", Int32, 64)
+            with hw.sequential("top"):
+                with hw.pipe("p", [(64, 1)]) as p:
+                    (j,) = p.iters
+                    buf[j] = buf[j] + 1
+        assert achieved_fmax_hz(d) > 160e6

@@ -1,0 +1,83 @@
+"""Validate the artifacts the benches leave in benchmarks/results/.
+
+These tests only run when a bench pass has already populated the results
+directory (they skip otherwise), and guard the formats downstream users
+consume: parseable CSVs with consistent columns, well-formed SVGs, and
+non-empty text tables.
+"""
+
+import csv
+from pathlib import Path
+
+import pytest
+
+RESULTS = Path(__file__).parent.parent / "benchmarks" / "results"
+
+needs_results = pytest.mark.skipif(
+    not RESULTS.exists() or not any(RESULTS.iterdir()),
+    reason="benchmarks/results not populated (run pytest benchmarks/ first)",
+)
+
+
+@needs_results
+def test_figure5_csvs_parse_and_agree():
+    csvs = sorted(RESULTS.glob("figure5_*.csv"))
+    assert csvs, "no figure5 CSVs found"
+    for path in csvs:
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        header, data = rows[0], rows[1:]
+        assert header[:6] == [
+            "cycles", "alm_pct", "dsp_pct", "bram_pct", "valid", "pareto"
+        ]
+        assert data, path.name
+        for row in data:
+            cycles = float(row[0])
+            assert cycles > 0
+            for col in (1, 2, 3):
+                assert 0.0 <= float(row[col]) < 10_000
+            assert row[4] in ("0", "1") and row[5] in ("0", "1")
+        # Pareto points must be valid points.
+        for row in data:
+            if row[5] == "1":
+                assert row[4] == "1", f"invalid Pareto point in {path.name}"
+
+
+@needs_results
+def test_figure5_svgs_well_formed():
+    svgs = sorted(RESULTS.glob("figure5_*.svg"))
+    assert svgs, "no figure5 SVGs found"
+    for path in svgs:
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+        assert text.count("<circle") > 10
+
+
+@needs_results
+def test_tables_non_empty():
+    for name in ("table2.txt", "table3.txt", "table4.txt", "figure6.txt"):
+        path = RESULTS / name
+        if not path.exists():
+            pytest.skip(f"{name} not generated in this bench run")
+        lines = path.read_text().splitlines()
+        assert len(lines) >= 4, name
+
+
+@needs_results
+def test_table3_average_row_in_band():
+    path = RESULTS / "table3.txt"
+    if not path.exists():
+        pytest.skip("table3 not generated")
+    avg_line = next(
+        line for line in path.read_text().splitlines()
+        if line.startswith("Average")
+    )
+    percents = [
+        float(tok.rstrip("%"))
+        for tok in avg_line.split()
+        if tok.endswith("%")
+    ]
+    assert len(percents) == 4
+    alm, dsp, bram, runtime = percents
+    assert alm < 10 and runtime < 10 and bram < 25

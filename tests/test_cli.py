@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(estimator, *argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out, estimator=estimator)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, estimator):
+        code, text = run_cli(estimator, "list")
+        assert code == 0
+        for name in ("dotproduct", "gemm", "blackscholes", "kmeans"):
+            assert name in text
+
+    def test_dataset_sizes_shown(self, estimator):
+        _, text = run_cli(estimator, "list")
+        assert "187,200,000" in text
+
+
+class TestEstimate:
+    def test_default_point(self, estimator):
+        code, text = run_cli(estimator, "estimate", "tpchq6")
+        assert code == 0
+        assert "cycles" in text and "ALMs" in text and "fits   : True" in text
+
+    def test_parameter_override(self, estimator):
+        _, base = run_cli(estimator, "estimate", "tpchq6")
+        _, wide = run_cli(estimator, "estimate", "tpchq6", "--set", "par=32")
+        assert "'par': 32" in wide
+        assert base != wide
+
+    def test_bool_override(self, estimator):
+        _, text = run_cli(
+            estimator, "estimate", "tpchq6", "--set", "metapipe=false"
+        )
+        assert "'metapipe': False" in text
+
+    def test_unknown_parameter_rejected(self, estimator):
+        with pytest.raises(SystemExit, match="unknown parameters"):
+            run_cli(estimator, "estimate", "tpchq6", "--set", "bogus=1")
+
+    def test_malformed_override_rejected(self, estimator):
+        with pytest.raises(SystemExit, match="key=value"):
+            run_cli(estimator, "estimate", "tpchq6", "--set", "par")
+
+
+class TestExplore:
+    def test_prints_pareto(self, estimator):
+        code, text = run_cli(
+            estimator, "explore", "tpchq6", "--points", "40", "--seed", "2"
+        )
+        assert code == 0
+        assert "Pareto-optimal" in text
+        assert "params" in text
+
+    def test_csv_dump(self, estimator, tmp_path):
+        csv_path = tmp_path / "points.csv"
+        code, text = run_cli(
+            estimator, "explore", "tpchq6", "--points", "20",
+            "--csv", str(csv_path),
+        )
+        assert code == 0
+        lines = csv_path.read_text().splitlines()
+        assert lines[0].startswith("cycles,alms,dsps,brams,valid")
+        assert len(lines) == 21
+
+
+class TestSpeedup:
+    def test_reports_speedup(self, estimator):
+        code, text = run_cli(
+            estimator, "speedup", "tpchq6", "--points", "40"
+        )
+        assert code == 0
+        assert "speedup" in text and "x" in text
+
+
+class TestCodegen:
+    def test_stdout(self, estimator):
+        code, text = run_cli(estimator, "codegen", "tpchq6")
+        assert code == 0
+        assert "extends Kernel" in text
+
+    def test_file_output(self, estimator, tmp_path):
+        path = tmp_path / "kernel.maxj"
+        code, text = run_cli(
+            estimator, "codegen", "tpchq6", "-o", str(path)
+        )
+        assert code == 0
+        assert "extends Kernel" in path.read_text()
+
+
+class TestPower:
+    def test_reports_power_and_energy(self, estimator):
+        code, text = run_cli(estimator, "power", "tpchq6")
+        assert code == 0
+        assert "total power" in text
+        assert "energy/run" in text

@@ -1,0 +1,107 @@
+"""Tests for MaxJ code generation."""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.codegen import MaxJGenerator, generate_maxj
+from repro.ir import Design, Float32
+from repro.ir import builder as hw
+
+
+@pytest.fixture(scope="module")
+def dp_source():
+    bench = get_benchmark("dotproduct")
+    ds = bench.small_dataset()
+    design = bench.build(ds, **bench.default_params(ds))
+    return generate_maxj(design)
+
+
+class TestKernelStructure:
+    def test_kernel_class_emitted(self, dp_source):
+        assert "class DotproductKernel extends Kernel" in dp_source
+
+    def test_manager_class_emitted(self, dp_source):
+        assert "class DotproductManager extends CustomManager" in dp_source
+
+    def test_lmem_streams_per_offchip(self, dp_source):
+        assert dp_source.count("addStreamFromLMem") == 2  # a and b
+
+    def test_scalar_output_for_argout(self, dp_source):
+        assert 'io.scalarOutput("out"' in dp_source
+
+    def test_counters_emitted(self, dp_source):
+        assert "makeCounterChain" in dp_source
+
+    def test_memory_allocations(self, dp_source):
+        assert "mem.alloc" in dp_source
+        assert "double-buffered" in dp_source
+
+    def test_braces_balanced(self, dp_source):
+        assert dp_source.count("{") == dp_source.count("}")
+
+
+class TestExpressionEmission:
+    def build(self):
+        with Design("expr_test") as d:
+            a = hw.offchip("a", Float32, 64)
+            with hw.sequential("top"):
+                buf = hw.bram("buf", Float32, 64)
+                hw.tile_load(a, buf, (0,), (64,))
+                with hw.pipe("p", [(64, 1)]) as p:
+                    (j,) = p.iters
+                    v = buf[j]
+                    buf[j] = hw.mux(v < 0.0, -v, hw.sqrt(v)) * 2.0
+        return d
+
+    def test_ops_and_functions(self):
+        src = generate_maxj(self.build())
+        assert "KernelMath.sqrt" in src
+        assert "?" in src and ":" in src  # ternary mux
+        assert "constant.var" in src
+
+    def test_float_type_mapping(self):
+        src = generate_maxj(self.build())
+        assert "dfeFloat(8, 24)" in src
+
+    def test_memory_reads_and_writes(self):
+        src = generate_maxj(self.build())
+        assert ".read(" in src and ".write(" in src
+
+    def test_kernel_and_manager_separable(self):
+        gen = MaxJGenerator(self.build())
+        kernel = gen.kernel()
+        manager = gen.manager()
+        assert "extends Kernel" in kernel
+        assert "extends CustomManager" in manager
+
+    def test_int_type_mapping(self):
+        from repro.ir.types import Int32, UInt32
+
+        with Design("ints") as d:
+            buf = hw.bram("buf", Int32, 8)
+            ubuf = hw.bram("ubuf", UInt32, 8)
+            with hw.sequential("top"):
+                with hw.pipe("p", [(8, 1)]) as p:
+                    (j,) = p.iters
+                    buf[j] = buf[j] + 1
+                    ubuf[j] = ubuf[j] + 1
+        src = generate_maxj(d)
+        assert "dfeInt(32)" in src
+        assert "dfeUInt(32)" in src
+
+
+class TestAllBenchmarksGenerate:
+    @pytest.mark.parametrize(
+        "name",
+        ["dotproduct", "outerprod", "gemm", "tpchq6", "blackscholes",
+         "gda", "kmeans"],
+    )
+    def test_generation_succeeds(self, name):
+        from repro.apps import get_benchmark
+
+        bench = get_benchmark(name)
+        ds = bench.small_dataset()
+        design = bench.build(ds, **bench.default_params(ds))
+        src = generate_maxj(design)
+        assert len(src) > 500
+        assert src.count("{") == src.count("}")

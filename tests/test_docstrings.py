@@ -1,0 +1,47 @@
+"""Documentation enforcement: every public item carries a doc comment."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = [
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+    if not name.endswith("__main__")  # importing it would run the CLI
+]
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exported from elsewhere
+        if not inspect.getdoc(obj):
+            undocumented.append(name)
+        elif inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                if not inspect.getdoc(meth):
+                    undocumented.append(f"{name}.{meth_name}")
+    assert not undocumented, (
+        f"{module_name}: public items without docstrings: {undocumented}"
+    )

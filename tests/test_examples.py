@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run cleanly end to end.
+
+Each example is executed in a subprocess (its own estimator training and
+all); these are the repository's executable documentation, so breaking one
+is breaking the README.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", ["functional check", "Design space sweep"]),
+    ("gda_exploration.py", ["Pareto frontier", "functional validation"]),
+    ("blackscholes_accelerator.py", ["put-call parity", "speedup"]),
+    ("patterns_frontend.py", ["functional check", "best:"]),
+    ("topk_priority_queue.py", ["matches numpy partial sort"]),
+    ("fixed_point_filter.py", ["float32", "Q8.8"]),
+]
+
+
+@pytest.mark.parametrize(
+    "script,expected", EXAMPLES, ids=[e[0] for e in EXAMPLES]
+)
+def test_example_runs(script, expected):
+    args = [sys.executable, str(EXAMPLES_DIR / script)]
+    if script == "gda_exploration.py":
+        args.append("400")  # smaller DSE budget for test speed
+    proc = subprocess.run(
+        args, capture_output=True, text=True, timeout=300
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    for marker in expected:
+        assert marker in proc.stdout, (
+            f"{script} output missing {marker!r}:\n{proc.stdout[-1500:]}"
+        )

@@ -1,0 +1,72 @@
+"""Tests for the HLS-style comparator tool."""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.hls import HLSExplosionError, HLSReport, HLSTool
+
+
+@pytest.fixture(scope="module")
+def gda_design():
+    bench = get_benchmark("gda")
+    ds = {"rows": 3600, "cols": 96}
+    return bench.build(
+        ds, tile_rows=120, par_sub=2, par_outer=8, par_row=1, par_mem=16,
+        m1=True, m2=True,
+    )
+
+
+class TestHLSTool:
+    def test_restricted_mode_schedules(self, gda_design):
+        report = HLSTool().estimate(gda_design, pipeline_outer=False)
+        assert isinstance(report, HLSReport)
+        assert report.scheduled_ops > 0
+        assert report.cycles > 0
+
+    def test_full_mode_unrolls_inner_loops(self, gda_design):
+        tool = HLSTool(trace_window=64)
+        restricted = tool.estimate(gda_design, pipeline_outer=False)
+        full = tool.estimate(gda_design, pipeline_outer=True)
+        assert full.scheduled_ops > 20 * restricted.scheduled_ops
+
+    def test_full_mode_slower(self, gda_design):
+        import time
+
+        tool = HLSTool(trace_window=64)
+        t0 = time.perf_counter()
+        tool.estimate(gda_design, pipeline_outer=False)
+        restricted = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        tool.estimate(gda_design, pipeline_outer=True)
+        full = time.perf_counter() - t0
+        assert full > 3 * restricted
+
+    def test_explosion_guard(self, gda_design):
+        tool = HLSTool(max_ops=1000)
+        with pytest.raises(HLSExplosionError):
+            tool.estimate(gda_design, pipeline_outer=True)
+
+    def test_ii_at_least_one(self, gda_design):
+        report = HLSTool(trace_window=16).estimate(
+            gda_design, pipeline_outer=False
+        )
+        assert report.ii >= 1
+
+    def test_empty_design_schedules_trivially(self):
+        from repro.ir import Design
+        from repro.ir import builder as hw
+
+        with Design("empty") as d:
+            with hw.sequential("top"):
+                with hw.pipe("p", [(4, 1)]):
+                    pass
+        report = HLSTool().estimate(d, pipeline_outer=False)
+        assert report.cycles == 0.0
+
+    def test_deterministic(self, gda_design):
+        tool = HLSTool(trace_window=32)
+        a = tool.estimate(gda_design, pipeline_outer=False)
+        b = tool.estimate(gda_design, pipeline_outer=False)
+        assert (a.cycles, a.ii, a.scheduled_ops) == (
+            b.cycles, b.ii, b.scheduled_ops
+        )

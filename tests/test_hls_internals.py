@@ -1,0 +1,91 @@
+"""Tests for HLS-comparator internals: op classification, scheduling."""
+
+import pytest
+
+from repro.hls.tool import _UNIT_CLASSES, HLSTool, _Op, _op_kind
+from repro.ir import Design, Float32, Int32
+from repro.ir import builder as hw
+
+
+class TestOpClassification:
+    def build_ops(self):
+        with Design("ops") as d:
+            buf = hw.bram("buf", Float32, 16)
+            ibuf = hw.bram("ibuf", Int32, 16)
+            with hw.sequential("top"):
+                with hw.pipe("p", [(16, 1)]) as p:
+                    (j,) = p.iters
+                    v = buf[j]
+                    nodes = {
+                        "fmul": v * v,
+                        "fadd": v + v,
+                        "fdiv": v / 2.0,
+                        "special": hw.sqrt(v),
+                    }
+                    buf[j] = nodes["special"]
+                    nodes["alu"] = ibuf[j] + 1
+                    ibuf[j] = nodes["alu"]
+        return nodes
+
+    def test_kinds(self):
+        nodes = self.build_ops()
+        assert _op_kind(nodes["fmul"])[0] == "fmul"
+        assert _op_kind(nodes["fadd"])[0] == "fadd"
+        assert _op_kind(nodes["fdiv"])[0] == "fdiv"
+        assert _op_kind(nodes["special"])[0] == "special"
+        assert _op_kind(nodes["alu"])[0] == "alu"
+
+    def test_latencies_positive(self):
+        nodes = self.build_ops()
+        for node in nodes.values():
+            assert _op_kind(node)[1] >= 1
+
+    def test_unit_classes_cover_all_kinds(self):
+        nodes = self.build_ops()
+        for node in nodes.values():
+            assert _op_kind(node)[0] in _UNIT_CLASSES
+
+
+class TestScheduler:
+    def test_chain_latency_sums(self):
+        tool = HLSTool()
+        ops = [
+            _Op(0, "fadd", 7, []),
+            _Op(1, "fadd", 7, [0]),
+            _Op(2, "fadd", 7, [1]),
+        ]
+        ii, cycles = tool._modulo_schedule(ops)
+        assert cycles == 21.0
+        assert ii >= 1
+
+    def test_independent_ops_overlap(self):
+        tool = HLSTool()
+        ops = [_Op(k, "alu", 1, []) for k in range(4)]
+        _, cycles = tool._modulo_schedule(ops)
+        assert cycles == 1.0  # 8 ALU units available
+
+    def test_resource_contention_serializes(self):
+        tool = HLSTool()
+        # One divider; three independent divides must serialize.
+        ops = [_Op(k, "fdiv", 28, []) for k in range(3)]
+        _, cycles = tool._modulo_schedule(ops)
+        assert cycles > 28.0
+
+    def test_empty_graph(self):
+        ii, cycles = HLSTool()._modulo_schedule([])
+        assert (ii, cycles) == (1, 0.0)
+
+    def test_scheduled_ops_scale_with_par_in_restricted_mode(self):
+        def build(par):
+            with Design(f"u{par}") as d:
+                buf = hw.bram("buf", Float32, 64)
+                with hw.sequential("top"):
+                    with hw.pipe("p", [(64, 1)], par=par) as p:
+                        (j,) = p.iters
+                        buf[j] = buf[j] * 2.0
+            return d
+
+        tool = HLSTool(trace_window=0)
+        narrow = tool.estimate(build(1), pipeline_outer=False)
+        wide = tool.estimate(build(8), pipeline_outer=False)
+        assert wide.scheduled_ops > 4 * narrow.scheduled_ops

@@ -1,0 +1,55 @@
+"""Tests for the consolidated report generator."""
+
+import io
+
+import pytest
+
+from repro.report import build_report
+
+
+@pytest.fixture(scope="module")
+def report_text(estimator):
+    return build_report(estimator, dse_points=60)
+
+
+class TestReport:
+    def test_has_all_sections(self, report_text):
+        assert "# Evaluation report" in report_text
+        assert "## Table III" in report_text
+        assert "## Table IV" in report_text
+        assert "## Figure 6" in report_text
+        assert "## Section IV-A" in report_text
+
+    def test_all_benchmarks_listed(self, report_text):
+        for name in ("dotproduct", "outerprod", "gemm", "tpchq6",
+                     "blackscholes", "gda", "kmeans"):
+            assert name in report_text
+
+    def test_averages_row_present(self, report_text):
+        assert "**average**" in report_text
+
+    def test_paper_references_included(self, report_text):
+        assert "4.8% / 7.5% / 12.3% / 6.1%" in report_text
+        assert "6533x" in report_text
+
+    def test_section_selection(self, estimator):
+        text = build_report(estimator, dse_points=40, sections=["effects"])
+        assert "## Section IV-A" in text
+        assert "## Table III" not in text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|")
+
+    def test_cli_report(self, estimator, tmp_path):
+        from repro.cli import main
+
+        out = io.StringIO()
+        path = tmp_path / "report.md"
+        code = main(
+            ["report", "--points", "40", "-o", str(path)],
+            out=out, estimator=estimator,
+        )
+        assert code == 0
+        assert "# Evaluation report" in path.read_text()

@@ -1,0 +1,63 @@
+"""Tests for the device and board models."""
+
+import pytest
+
+from repro.target import MAIA, STRATIX_V, Board, Device
+
+
+class TestDevice:
+    def test_stratix_v_capacities(self):
+        assert STRATIX_V.alms == 262_400
+        assert STRATIX_V.dsps == 1_963
+        assert STRATIX_V.bram_blocks == 2_567
+
+    def test_total_bram_bits(self):
+        assert STRATIX_V.total_bram_bits == 2_567 * 20 * 1024
+
+    def test_block_configs_by_width(self):
+        # 20-bit words use the 1Kx20 configuration.
+        assert STRATIX_V.bram_blocks_for(1024, 20) == 1
+        assert STRATIX_V.bram_blocks_for(1025, 20) == 2
+        # 5-bit words: 4Kx5.
+        assert STRATIX_V.bram_blocks_for(4096, 5) == 1
+
+    def test_width_rounding(self):
+        # 17-bit words round up to the 20-bit configuration.
+        assert STRATIX_V.bram_blocks_for(1024, 17) == 1
+
+    def test_wide_word_splitting(self):
+        # 128-bit words need ceil(128/40) = 4 parallel blocks.
+        assert STRATIX_V.bram_blocks_for(512, 128) == 4
+        assert STRATIX_V.bram_blocks_for(1024, 128) == 8
+
+    def test_custom_device(self):
+        tiny = Device("tiny", alms=1000, dsps=10, bram_blocks=20)
+        assert tiny.total_bram_bits == 20 * 20 * 1024
+
+
+class TestBoard:
+    def test_maia_parameters_match_paper(self):
+        assert MAIA.fabric_clock_hz == 150e6
+        assert MAIA.dram_bytes == 48 * 1024**3
+        assert MAIA.dram_peak_bw == 76.8e9
+        assert MAIA.dram_effective_bw == 37.5e9
+
+    def test_bytes_per_cycle(self):
+        assert MAIA.bytes_per_cycle == pytest.approx(250.0)
+
+    def test_cycles_for_bytes(self):
+        assert MAIA.cycles_for_bytes(2500) == pytest.approx(10.0)
+
+    def test_burst_alignment(self):
+        assert MAIA.burst_aligned_bytes(1) == 384
+        assert MAIA.burst_aligned_bytes(384) == 384
+        assert MAIA.burst_aligned_bytes(385) == 768
+
+    def test_custom_board(self):
+        fast = Board(
+            name="fast", device=STRATIX_V, fabric_clock_hz=300e6,
+            dram_bytes=1 << 30, dram_peak_bw=100e9,
+            dram_effective_bw=80e9, dram_burst_bytes=64,
+            dram_latency_cycles=120,
+        )
+        assert fast.bytes_per_cycle == pytest.approx(80e9 / 300e6)

@@ -1,0 +1,79 @@
+"""Tests for the SVG scatter renderer and Figure 5 panel generation."""
+
+import pytest
+
+from repro.viz import ScatterPlot, figure5_panel, write_figure5_row
+from repro.target import STRATIX_V
+
+
+def simple_plot(log_y=False):
+    plot = ScatterPlot("t", "x", "y", log_y=log_y)
+    plot.add_series("a", [(0, 10), (50, 100), (100, 1000)], "#112233")
+    plot.add_series("b", [(25, 500)], "#445566", radius=3.0)
+    return plot
+
+
+class TestScatterPlot:
+    def test_valid_svg_document(self):
+        svg = simple_plot().render()
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") == 4 + 2  # points + legend markers
+
+    def test_legend_labels_present(self):
+        svg = simple_plot().render()
+        assert ">a</text>" in svg and ">b</text>" in svg
+
+    def test_log_scale_orders_points(self):
+        plot = simple_plot(log_y=True)
+        bounds = plot._bounds()
+        _, y10 = plot._to_px(0, 10, bounds)
+        _, y100 = plot._to_px(0, 100, bounds)
+        _, y1000 = plot._to_px(0, 1000, bounds)
+        assert y10 > y100 > y1000  # larger value -> higher on screen
+        # Log scale: equal ratios map to equal pixel distances.
+        assert (y10 - y100) == pytest.approx(y100 - y1000, rel=1e-6)
+
+    def test_points_inside_plot_area(self):
+        plot = simple_plot()
+        bounds = plot._bounds()
+        for s in plot.series:
+            for x, y in s.points:
+                px, py = plot._to_px(x, y, bounds)
+                assert plot.MARGIN_L - 1 <= px <= plot.width
+                assert 0 <= py <= plot.height - plot.MARGIN_B + 1
+
+    def test_empty_plot_still_renders(self):
+        svg = ScatterPlot("empty", "x", "y").render()
+        assert "<svg" in svg
+
+    def test_log_ticks_are_decades(self):
+        svg = simple_plot(log_y=True).render()
+        assert "1e1" in svg and "1e3" in svg
+
+
+class TestFigure5Panels:
+    @pytest.fixture(scope="class")
+    def result(self, estimator):
+        from repro.apps import get_benchmark
+        from repro.dse import explore
+
+        return explore(get_benchmark("kmeans"), estimator,
+                       max_points=120, seed=29)
+
+    def test_panel_classifies_points(self, result, estimator):
+        plot = figure5_panel(result, "alms", estimator.board.device)
+        by_label = {s.label: len(s.points) for s in plot.series}
+        assert by_label["valid"] + by_label["invalid"] + by_label["Pareto"] \
+            == len(result.points)
+        assert by_label["Pareto"] == len(result.pareto)
+        assert by_label["invalid"] > 0  # kmeans overflows at high par
+
+    def test_write_row(self, result, estimator, tmp_path):
+        paths = write_figure5_row(result, estimator.board.device, tmp_path)
+        assert [p.name for p in paths] == [
+            "figure5_kmeans_alms.svg",
+            "figure5_kmeans_dsps.svg",
+            "figure5_kmeans_brams.svg",
+        ]
+        assert all(p.stat().st_size > 1000 for p in paths)
