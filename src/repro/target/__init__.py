@@ -1,0 +1,15 @@
+"""Hardware target models: the FPGA device and the board hosting it.
+
+Every layer of the flow is parameterized by a concrete target (Section
+V-A): the estimator and the synthesis substrate consume :class:`Device`
+capacities and BRAM geometry, while the cycle models (estimator and
+runtime simulator alike) consume :class:`Board` clock, bandwidth, burst,
+and latency figures. The paper's evaluation platform — an Altera
+Stratix V 5SGSD8 on a Maxeler MAIA card — is provided as the
+:data:`STRATIX_V` and :data:`MAIA` constants.
+"""
+
+from .board import MAIA, Board
+from .device import M20K_BITS, STRATIX_V, Device
+
+__all__ = ["Board", "Device", "M20K_BITS", "MAIA", "STRATIX_V"]

@@ -1,0 +1,56 @@
+"""Board model: fabric clock and off-chip DRAM characteristics.
+
+The cycle models (estimator and runtime simulator) charge DRAM traffic
+in fabric cycles: effective bandwidth converts to bytes per fabric
+cycle, every memory command moves whole bursts, and each transfer pays
+the DRAM round-trip latency once (Section IV-B1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import STRATIX_V, Device
+
+
+@dataclass(frozen=True)
+class Board:
+    """An accelerator card: a device plus clock and DRAM parameters."""
+
+    name: str
+    device: Device
+    fabric_clock_hz: float
+    dram_bytes: int
+    dram_peak_bw: float
+    dram_effective_bw: float
+    dram_burst_bytes: int
+    dram_latency_cycles: int
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Achievable DRAM bytes per fabric cycle."""
+        return self.dram_effective_bw / self.fabric_clock_hz
+
+    def cycles_for_bytes(self, nbytes: float) -> float:
+        """Fabric cycles to stream ``nbytes`` at effective bandwidth."""
+        return max(float(nbytes), 0.0) / self.bytes_per_cycle
+
+    def burst_aligned_bytes(self, nbytes: int) -> int:
+        """Least whole-burst multiple covering ``nbytes`` (minimum one burst)."""
+        bursts = math.ceil(max(int(nbytes), 1) / self.dram_burst_bytes)
+        return bursts * self.dram_burst_bytes
+
+
+#: The paper's board: a Maxeler MAIA card (Section V-A) — 150 MHz fabric,
+#: 48 GB DDR3 reaching 37.5 GB/s of its 76.8 GB/s peak, 384-byte bursts.
+MAIA = Board(
+    name="MAIA",
+    device=STRATIX_V,
+    fabric_clock_hz=150e6,
+    dram_bytes=48 * 1024**3,
+    dram_peak_bw=76.8e9,
+    dram_effective_bw=37.5e9,
+    dram_burst_bytes=384,
+    dram_latency_cycles=240,
+)

@@ -1,0 +1,83 @@
+"""FPGA device model: resource capacities and BRAM block geometry.
+
+The device answers two questions for the estimator and the synthesis
+substrate: how much of each resource exists (ALMs, DSPs, M20K blocks),
+and how many physical M20K blocks a logical on-chip memory of a given
+depth and word width occupies. The latter follows the M20K's discrete
+width configurations (Section IV-B2): a word width is rounded up to the
+next supported configuration, and words wider than the widest
+configuration are split across parallel blocks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# An M20K block stores 20 Kbit regardless of configuration.
+M20K_BITS = 20 * 1024
+
+# Supported (depth, width) configurations of one M20K block, widest
+# first. Widths between entries round up to the next wider config; the
+# widest (512x40) is the per-block lane for wide-word splitting.
+M20K_CONFIGS = (
+    (512, 40),
+    (1024, 20),
+    (2048, 10),
+    (4096, 5),
+    (8192, 2),
+    (16384, 1),
+)
+
+_MAX_WIDTH = M20K_CONFIGS[0][1]
+
+
+@dataclass(frozen=True)
+class Device:
+    """An FPGA part: resource capacities plus BRAM geometry.
+
+    ``regs_per_alm`` and ``lut_pack_rate`` parameterize the area models:
+    each ALM offers two registers alongside its LUT, and ~80% of packable
+    LUT functions pair up per ALM (Section IV-A).
+    """
+
+    name: str
+    alms: int
+    dsps: int
+    bram_blocks: int
+    regs_per_alm: int = 2
+    lut_pack_rate: float = 0.8
+
+    @property
+    def total_bram_bits(self) -> int:
+        """Total on-chip BRAM capacity in bits."""
+        return self.bram_blocks * M20K_BITS
+
+    def bram_blocks_for(self, depth: int, width: int) -> int:
+        """Physical M20K blocks for a ``depth`` x ``width``-bit memory.
+
+        Words wider than 40 bits split into ``ceil(width / 40)`` parallel
+        40-bit lanes; otherwise the narrowest configuration that fits the
+        word width is used, and blocks cascade in depth. An empty memory
+        occupies no blocks.
+        """
+        depth = int(depth)
+        if depth <= 0:
+            return 0
+        width = max(int(width), 1)
+        if width > _MAX_WIDTH:
+            lanes = math.ceil(width / _MAX_WIDTH)
+            return lanes * self.bram_blocks_for(depth, _MAX_WIDTH)
+        config_depth = next(
+            d for d, w in reversed(M20K_CONFIGS) if w >= width
+        )
+        return math.ceil(depth / config_depth)
+
+
+#: The paper's device: Altera Stratix V 5SGSD8 (Section V-A).
+STRATIX_V = Device(
+    name="Stratix V 5SGSD8",
+    alms=262_400,
+    dsps=1_963,
+    bram_blocks=2_567,
+)

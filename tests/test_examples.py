@@ -5,6 +5,7 @@ all); these are the repository's executable documentation, so breaking one
 is breaking the README.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -12,6 +13,16 @@ from pathlib import Path
 import pytest
 
 EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SRC_DIR = Path(__file__).parent.parent / "src"
+
+# The subprocess must find `repro` even when pytest itself resolved it
+# via the `pythonpath = ["src"]` ini option (which env vars don't carry).
+ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join(
+        p for p in (str(SRC_DIR), os.environ.get("PYTHONPATH")) if p
+    ),
+)
 
 EXAMPLES = [
     ("quickstart.py", ["functional check", "Design space sweep"]),
@@ -31,7 +42,7 @@ def test_example_runs(script, expected):
     if script == "gda_exploration.py":
         args.append("400")  # smaller DSE budget for test speed
     proc = subprocess.run(
-        args, capture_output=True, text=True, timeout=300
+        args, capture_output=True, text=True, timeout=300, env=ENV
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     for marker in expected:

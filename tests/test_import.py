@@ -1,0 +1,35 @@
+"""Packaging smoke tests: the package must import and its API resolve.
+
+The failure mode guarded here — a dangling import inside ``repro``
+making the whole package (and the whole test suite) uncollectable —
+must never regress silently.
+"""
+
+import importlib
+import pkgutil
+
+import repro
+
+
+def test_import_repro_succeeds():
+    assert repro.__version__
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_every_submodule_imports():
+    """Walk the package tree; any dangling import fails loudly here."""
+    for mod in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if mod.name.endswith(".__main__"):
+            continue  # running the CLI entry point is not an import check
+        importlib.import_module(mod.name)
+
+
+def test_target_api_surface():
+    from repro.target import MAIA, STRATIX_V, Board, Device
+
+    assert isinstance(STRATIX_V, Device)
+    assert isinstance(MAIA, Board)

@@ -1,0 +1,49 @@
+"""Golden snapshot of the paper's published target parameters.
+
+Section V-A and Table V pin the evaluation platform: a Stratix V 5SGSD8
+on a Maxeler MAIA card. Any drift in these constants silently skews
+every estimate, synthesis report, and DSE result downstream, so the full
+parameter set is snapshotted here and compared field by field.
+"""
+
+from dataclasses import asdict
+
+from repro.target import MAIA, STRATIX_V
+
+GOLDEN_STRATIX_V = {
+    "name": "Stratix V 5SGSD8",
+    "alms": 262_400,
+    "dsps": 1_963,
+    "bram_blocks": 2_567,
+    "regs_per_alm": 2,
+    "lut_pack_rate": 0.8,
+}
+
+GOLDEN_MAIA = {
+    "name": "MAIA",
+    "fabric_clock_hz": 150e6,
+    "dram_bytes": 48 * 1024**3,
+    "dram_peak_bw": 76.8e9,
+    "dram_effective_bw": 37.5e9,
+    "dram_burst_bytes": 384,
+    "dram_latency_cycles": 240,
+}
+
+
+def test_stratix_v_matches_paper():
+    assert asdict(STRATIX_V) == GOLDEN_STRATIX_V
+
+
+def test_maia_matches_paper():
+    snapshot = {k: v for k, v in asdict(MAIA).items() if k != "device"}
+    assert snapshot == GOLDEN_MAIA
+
+
+def test_maia_hosts_the_stratix_v():
+    assert MAIA.device is STRATIX_V
+
+
+def test_derived_figures():
+    # 20 Kbit per M20K block; 250 DRAM bytes per 150 MHz fabric cycle.
+    assert STRATIX_V.total_bram_bits == 2_567 * 20 * 1024
+    assert MAIA.bytes_per_cycle == 37.5e9 / 150e6 == 250.0

@@ -1,0 +1,78 @@
+"""Property-based invariants of the device and board models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.target import MAIA, STRATIX_V, M20K_BITS
+
+depths = st.integers(min_value=1, max_value=1 << 20)
+widths = st.integers(min_value=1, max_value=512)
+
+
+class TestBramBlocksFor:
+    @given(depth=depths, width=widths, ddelta=st.integers(0, 4096))
+    @settings(max_examples=200)
+    def test_monotone_in_depth(self, depth, width, ddelta):
+        assert STRATIX_V.bram_blocks_for(
+            depth + ddelta, width
+        ) >= STRATIX_V.bram_blocks_for(depth, width)
+
+    @given(depth=depths, width=widths, wdelta=st.integers(0, 64))
+    @settings(max_examples=200)
+    def test_monotone_in_width(self, depth, width, wdelta):
+        assert STRATIX_V.bram_blocks_for(
+            depth, width + wdelta
+        ) >= STRATIX_V.bram_blocks_for(depth, width)
+
+    @given(depth=depths, width=widths)
+    @settings(max_examples=200)
+    def test_positive_and_capacity_bounded_below(self, depth, width):
+        """At least one block, and never fewer than raw bits demand."""
+        blocks = STRATIX_V.bram_blocks_for(depth, width)
+        assert blocks >= 1
+        assert blocks >= math.ceil(depth * min(width, 40) / M20K_BITS)
+
+    @given(width=widths)
+    def test_zero_depth_is_free(self, width):
+        assert STRATIX_V.bram_blocks_for(0, width) == 0
+
+
+class TestBurstAlignment:
+    @given(nbytes=st.integers(min_value=-8, max_value=1 << 24))
+    @settings(max_examples=200)
+    def test_least_burst_multiple(self, nbytes):
+        """Result is the least multiple of the burst >= max(nbytes, 1)."""
+        aligned = MAIA.burst_aligned_bytes(nbytes)
+        assert aligned % MAIA.dram_burst_bytes == 0
+        assert aligned >= max(nbytes, 1)
+        assert aligned - MAIA.dram_burst_bytes < max(nbytes, 1)
+
+    @given(nbytes=st.integers(min_value=1, max_value=1 << 24))
+    def test_idempotent(self, nbytes):
+        once = MAIA.burst_aligned_bytes(nbytes)
+        assert MAIA.burst_aligned_bytes(once) == once
+
+
+class TestCyclesForBytes:
+    @given(nbytes=st.floats(min_value=0, max_value=1e15, allow_nan=False))
+    @settings(max_examples=200)
+    def test_non_negative(self, nbytes):
+        assert MAIA.cycles_for_bytes(nbytes) >= 0.0
+
+    @given(
+        a=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+        b=st.floats(min_value=0, max_value=1e12, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_linear(self, a, b):
+        assert MAIA.cycles_for_bytes(a + b) == pytest.approx(
+            MAIA.cycles_for_bytes(a) + MAIA.cycles_for_bytes(b)
+        )
+
+    @given(nbytes=st.floats(min_value=1, max_value=1e12, allow_nan=False))
+    def test_matches_bandwidth(self, nbytes):
+        seconds = MAIA.cycles_for_bytes(nbytes) / MAIA.fabric_clock_hz
+        assert nbytes / seconds == pytest.approx(MAIA.dram_effective_bw)
