@@ -9,14 +9,25 @@ Paper: 0.017 s/design (ours) vs 4.75 s (restricted, 279x) vs 111.06 s
 (full, 6533x). Our comparator is a reimplementation of the mechanism, not
 Vivado itself, so absolute ratios are smaller; the claim reproduced is the
 orders-of-magnitude ordering ours << restricted << full.
+
+Besides the human-readable ``results/table4.txt``, the run emits a
+machine-readable ``BENCH_table4.json`` at the repo root via the
+:mod:`repro.obs` metrics layer: per-benchmark points/sec plus the
+per-pass latency decomposition (cycle model vs area model vs NN
+corrections), so future performance PRs can diff against a committed
+baseline.
 """
 
+import json
+import platform
 import random
 import time
+from pathlib import Path
 
 import pytest
 
-from repro.apps import get_benchmark
+from repro import obs
+from repro.apps import all_benchmarks, get_benchmark
 from repro.hls import HLSExplosionError, HLSTool
 
 from conftest import write_result
@@ -24,6 +35,9 @@ from conftest import write_result
 N_OURS = 250
 N_RESTRICTED = 25
 N_FULL = 4
+N_JSON = 40  # points per benchmark for the BENCH_table4.json decomposition
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_table4.json"
 
 
 @pytest.fixture(scope="module")
@@ -84,6 +98,57 @@ def test_table4_speeds(estimator, gda_points, results_dir):
     assert restricted > 3 * ours
     assert full > 10 * restricted
     assert ours < 0.05  # paper: milliseconds per design
+
+    _write_bench_json(
+        estimator,
+        {"ours_s": ours, "hls_restricted_s": restricted, "hls_full_s": full},
+    )
+
+
+def _write_bench_json(estimator, gda_timings):
+    """Emit BENCH_table4.json: per-benchmark rates + per-pass timing."""
+    was_enabled = obs.metrics_enabled()
+    benches = {}
+    for bench in all_benchmarks():
+        ds = bench.default_dataset()
+        points = bench.param_space(ds).sample(random.Random(21), N_JSON)
+        obs.metrics().reset()
+        obs.enable(metrics=True)
+        start = time.perf_counter()
+        for params in points:
+            estimator.estimate(bench.build(ds, **params))
+        elapsed = time.perf_counter() - start
+        snapshot = obs.metrics().to_dict()
+        obs.enable(metrics=was_enabled)
+        passes = {
+            name[len("pass."):]: summary
+            for name, summary in snapshot["histograms"].items()
+            if name.startswith("pass.")
+        }
+        benches[bench.name] = {
+            "points": len(points),
+            "elapsed_s": elapsed,
+            "points_per_sec": len(points) / elapsed,
+            "s_per_design": elapsed / len(points),
+            "estimate_latency": snapshot["histograms"].get(
+                "estimate.latency_s", {}
+            ),
+            "passes": passes,
+        }
+    obs.metrics().reset()
+    payload = {
+        "schema": 1,
+        "generated_by": "benchmarks/test_table4_estimation_speed.py",
+        "python": platform.python_version(),
+        "units": "seconds unless suffixed otherwise",
+        "paper": {
+            "ours_s": 0.017, "hls_restricted_s": 4.75, "hls_full_s": 111.06,
+        },
+        "gda_table4": gda_timings,
+        "benchmarks": benches,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {BENCH_JSON}")
 
 
 def test_bench_our_estimation_speed(benchmark, estimator, gda_points):

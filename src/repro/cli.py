@@ -11,6 +11,11 @@ Subcommands mirror the paper's flow:
 * ``repro analyze BENCH`` — bottleneck + roofline diagnosis (extension);
 * ``repro report -o FILE`` — consolidated evaluation report.
 
+``estimate``/``explore``/``speedup``/``codegen`` accept ``--trace FILE``
+(write a Chrome trace-event file — open in chrome://tracing or Perfetto)
+and ``--metrics`` (print counter/histogram summaries); see
+``docs/observability.md``.
+
 Invoke as ``python -m repro ...``.
 """
 
@@ -20,6 +25,7 @@ import argparse
 import sys
 from typing import Dict, List, Optional
 
+from . import obs
 from .apps import all_benchmarks, get_benchmark
 from .codegen import generate_maxj
 from .dse import explore
@@ -36,8 +42,20 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
         key, value = pair.split("=", 1)
         if value.lower() in ("true", "false"):
             out[key] = value.lower() == "true"
-        else:
+            continue
+        try:
             out[key] = int(value)
+        except ValueError:
+            try:
+                # Float passthrough for parameters that accept one
+                # (e.g. capacity fractions); integer-only parameters
+                # reject it downstream via the space's legality check.
+                out[key] = float(value)
+            except ValueError:
+                raise SystemExit(
+                    f"--set {key}: expected an integer, float, or "
+                    f"true/false, got {value!r}"
+                ) from None
     return out
 
 
@@ -50,7 +68,21 @@ def _resolve_params(bench, overrides: Dict[str, object]) -> Dict[str, object]:
             f"unknown parameters for {bench.name}: {sorted(unknown)} "
             f"(valid: {sorted(params)})"
         )
-    params.update(overrides)
+    coerced = dict(overrides)
+    for key, value in overrides.items():
+        default = params[key]
+        if (
+            isinstance(value, float)
+            and isinstance(default, int)
+            and not isinstance(default, bool)
+        ):
+            if not value.is_integer():
+                raise SystemExit(
+                    f"--set {key}: {bench.name} expects an integer "
+                    f"(got {value!r})"
+                )
+            coerced[key] = int(value)
+    params.update(coerced)
     return params
 
 
@@ -221,17 +253,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    # Observability flags shared by the instrumented pipeline commands.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace", metavar="FILE.json",
+        help="write a Chrome trace-event file of the run "
+        "(open in chrome://tracing or https://ui.perfetto.dev)",
+    )
+    obs_flags.add_argument(
+        "--metrics", action="store_true",
+        help="print counter/histogram summaries after the command",
+    )
+
     sub.add_parser("list", help="list the Table II benchmarks")
 
     def add_bench(p):
         p.add_argument("benchmark", help="benchmark name (see 'repro list')")
 
-    p = sub.add_parser("estimate", help="estimate one design point")
+    p = sub.add_parser("estimate", help="estimate one design point",
+                       parents=[obs_flags])
     add_bench(p)
     p.add_argument("--set", nargs="*", metavar="K=V",
                    help="override design parameters")
 
-    p = sub.add_parser("explore", help="design space exploration")
+    p = sub.add_parser("explore", help="design space exploration",
+                       parents=[obs_flags])
     add_bench(p)
     p.add_argument("--points", type=int, default=1000)
     p.add_argument("--seed", type=int, default=1)
@@ -239,12 +285,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Pareto points to print")
     p.add_argument("--csv", help="dump all points to a CSV file")
 
-    p = sub.add_parser("speedup", help="best design vs the CPU baseline")
+    p = sub.add_parser("speedup", help="best design vs the CPU baseline",
+                       parents=[obs_flags])
     add_bench(p)
     p.add_argument("--points", type=int, default=1000)
     p.add_argument("--seed", type=int, default=1)
 
-    p = sub.add_parser("codegen", help="emit MaxJ for a design point")
+    p = sub.add_parser("codegen", help="emit MaxJ for a design point",
+                       parents=[obs_flags])
     add_bench(p)
     p.add_argument("--set", nargs="*", metavar="K=V")
     p.add_argument("-o", "--output", help="output file (default: stdout)")
@@ -266,11 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[List[str]] = None, out=None,
-         estimator: Optional[Estimator] = None) -> int:
-    """CLI entry point; ``out`` and ``estimator`` are injectable for tests."""
-    args = build_parser().parse_args(argv)
-    out = out or sys.stdout
+def _dispatch(args, out, estimator: Optional[Estimator]) -> int:
     if args.command == "list":
         return cmd_list(args, out)
     if args.command == "estimate":
@@ -288,6 +332,36 @@ def main(argv: Optional[List[str]] = None, out=None,
     if args.command == "report":
         return cmd_report(args, out, estimator)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Optional[List[str]] = None, out=None,
+         estimator: Optional[Estimator] = None) -> int:
+    """CLI entry point; ``out`` and ``estimator`` are injectable for tests."""
+    args = build_parser().parse_args(argv)
+    out = out or sys.stdout
+    trace_file = getattr(args, "trace", None)
+    want_metrics = bool(getattr(args, "metrics", False))
+    if not (trace_file or want_metrics):
+        return _dispatch(args, out, estimator)
+
+    obs.reset()
+    obs.enable(trace=bool(trace_file), metrics=want_metrics)
+    try:
+        code = _dispatch(args, out, estimator)
+    finally:
+        obs.disable()
+        if want_metrics:
+            print(obs.metrics().summary_table(), file=out)
+            if obs.tracer().spans:
+                print(obs.span_summary(obs.tracer()), file=out)
+        if trace_file:
+            obs.write_chrome_trace(obs.tracer(), trace_file)
+            print(
+                f"wrote {len(obs.tracer().spans)} spans to {trace_file} "
+                "(open in chrome://tracing or https://ui.perfetto.dev)",
+                file=out,
+            )
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from .. import obs
 from ..ir.controllers import Controller, MetaPipe, Parallel, Pipe, Sequential
 from ..ir.graph import Design, replication
 from ..ir.memories import BRAM, OnChipMemory, PriorityQueue, Reg
@@ -326,25 +327,38 @@ def hybrid_area(
     from .features import design_features  # local import to avoid cycle
 
     device = board.device
-    raw = raw_area(design, models)
-    feats = design_features(design, raw.counts, raw.wire_bits)
+    with obs.timed("area", "pass.area_s", design=design.name):
+        with obs.timed("area.raw", "pass.area_raw_s"):
+            raw = raw_area(design, models)
+            feats = design_features(design, raw.counts, raw.wire_bits)
 
-    routing = corrections.predict_routing_luts(feats, raw.counts)
-    dup_regs = corrections.predict_duplicated_regs(feats, raw.counts)
-    unavailable = corrections.predict_unavailable_luts(feats, raw.counts)
-    dup_brams = corrections.predict_duplicated_brams(routing, raw.counts)
+        # The NN corrections are the one non-analytical estimation stage;
+        # timed separately so Table IV decomposes into model vs NN time.
+        with obs.timed("area.nn", "pass.area_nn_s"):
+            routing = corrections.predict_routing_luts(feats, raw.counts)
+            dup_regs = corrections.predict_duplicated_regs(feats, raw.counts)
+            unavailable = corrections.predict_unavailable_luts(
+                feats, raw.counts
+            )
+            dup_brams = corrections.predict_duplicated_brams(
+                routing, raw.counts
+            )
 
-    # Routing LUTs are assumed always packable (paper Section IV-B2).
-    packable = raw.counts.luts_packable + routing
-    unpackable = raw.counts.luts_unpackable
-    rate = device.lut_pack_rate
-    lut_units = unpackable + packable * (1.0 - rate) + packable * rate / 2.0
-    lut_units += unavailable
+        # Routing LUTs are assumed always packable (paper Section IV-B2).
+        packable = raw.counts.luts_packable + routing
+        unpackable = raw.counts.luts_unpackable
+        rate = device.lut_pack_rate
+        lut_units = (
+            unpackable + packable * (1.0 - rate) + packable * rate / 2.0
+        )
+        lut_units += unavailable
 
-    total_regs = raw.counts.regs + dup_regs
-    extra_reg_alms = max(0.0, total_regs - device.regs_per_alm * lut_units)
-    extra_reg_alms /= device.regs_per_alm
-    alms = lut_units + extra_reg_alms
+        total_regs = raw.counts.regs + dup_regs
+        extra_reg_alms = max(
+            0.0, total_regs - device.regs_per_alm * lut_units
+        )
+        extra_reg_alms /= device.regs_per_alm
+        alms = lut_units + extra_reg_alms
 
     return AreaEstimate(
         alms=int(round(alms)),

@@ -18,6 +18,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
+from .. import obs
 from ..ir.controllers import Controller, MetaPipe, Parallel, Pipe, Sequential
 from ..ir.graph import Design
 from ..ir.memops import TileTransfer
@@ -49,11 +50,13 @@ class CycleEstimate:
 
 def estimate_cycles(design: Design, board: Board = MAIA) -> CycleEstimate:
     """Estimate the total runtime of ``design`` on ``board`` in cycles."""
-    estimate = CycleEstimate(0.0, board)
-    total = 0.0
-    for top in design.top_controllers:
-        total += _controller_cycles(top, board, 0, estimate)
-    estimate.total = total
+    with obs.timed("cycles", "pass.cycles_s", design=design.name) as sp:
+        estimate = CycleEstimate(0.0, board)
+        total = 0.0
+        for top in design.top_controllers:
+            total += _controller_cycles(top, board, 0, estimate)
+        estimate.total = total
+        sp.set(cycles=total)
     return estimate
 
 

@@ -12,6 +12,7 @@ import functools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import obs
 from ..ir.graph import Design
 from ..target.board import MAIA, Board
 from .area import AreaEstimate, hybrid_area
@@ -78,8 +79,10 @@ class Estimator:
 
     def estimate(self, design: Design) -> Estimate:
         """Complete design-point estimate: cycles plus area."""
-        cycles = self.estimate_cycles(design)
-        area = self.estimate_area(design)
+        with obs.timed("estimate", "estimate.latency_s", design=design.name):
+            obs.counter("estimate.calls").inc()
+            cycles = self.estimate_cycles(design)
+            area = self.estimate_area(design)
         return Estimate(
             design_name=design.name,
             cycles=cycles.total,

@@ -1,0 +1,170 @@
+"""Trace export sinks: JSONL, Chrome trace-event, summary table.
+
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON format, loadable in ``chrome://tracing`` or Perfetto
+  (https://ui.perfetto.dev). Spans become complete (``"ph": "X"``)
+  events with microsecond timestamps; instant events become ``"ph": "i"``
+  marks on the timeline.
+* :func:`write_jsonl` — one JSON object per line per span/instant, for
+  ad-hoc analysis with ``jq`` or pandas.
+* :func:`span_summary` — per-span-name aggregate wall-clock table, the
+  quickest answer to "where did the time go".
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Union
+
+from .trace import Tracer
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "span_summary",
+]
+
+_US = 1e6  # Chrome trace timestamps are in microseconds
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> Dict[str, Any]:
+    """Render the tracer's events as a Chrome trace-event dict."""
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in tracer.spans:
+        events.append(
+            {
+                "name": span.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": span.start * _US,
+                "dur": span.duration * _US,
+                "pid": 1,
+                "tid": span.thread_id,
+                "args": _jsonable(span.attrs),
+            }
+        )
+    for ev in tracer.instants:
+        events.append(
+            {
+                "name": ev.name,
+                "cat": "repro",
+                "ph": "i",
+                "ts": ev.ts * _US,
+                "pid": 1,
+                "tid": ev.thread_id,
+                "s": "t",
+                "args": _jsonable(ev.attrs),
+            }
+        )
+    return {"displayTimeUnit": "ms", "traceEvents": events}
+
+
+def write_chrome_trace(
+    tracer: Tracer, dest: Union[str, IO[str]], process_name: str = "repro"
+) -> None:
+    """Write :func:`to_chrome_trace` output to a path or open file."""
+    doc = to_chrome_trace(tracer, process_name)
+    if hasattr(dest, "write"):
+        json.dump(doc, dest)  # type: ignore[arg-type]
+    else:
+        with open(dest, "w") as fh:  # type: ignore[arg-type]
+            json.dump(doc, fh)
+
+
+def write_jsonl(tracer: Tracer, dest: Union[str, IO[str]]) -> None:
+    """Write every span and instant as one JSON object per line."""
+
+    def _dump(fh: IO[str]) -> None:
+        for span in tracer.spans:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "span",
+                        "name": span.name,
+                        "id": span.span_id,
+                        "parent": span.parent_id,
+                        "thread": span.thread_id,
+                        "start_s": span.start,
+                        "end_s": span.end,
+                        "duration_s": span.duration,
+                        "attrs": _jsonable(span.attrs),
+                    }
+                )
+                + "\n"
+            )
+        for ev in tracer.instants:
+            fh.write(
+                json.dumps(
+                    {
+                        "type": "instant",
+                        "name": ev.name,
+                        "thread": ev.thread_id,
+                        "ts_s": ev.ts,
+                        "attrs": _jsonable(ev.attrs),
+                    }
+                )
+                + "\n"
+            )
+
+    if hasattr(dest, "write"):
+        _dump(dest)  # type: ignore[arg-type]
+    else:
+        with open(dest, "w") as fh:  # type: ignore[arg-type]
+            _dump(fh)
+
+
+def span_summary(tracer: Tracer, title: str = "spans") -> str:
+    """Per-span-name wall-clock aggregate as a human-readable table."""
+    rows = tracer.summary_rows()
+    lines = [f"-- {title} " + "-" * max(1, 58 - len(title))]
+    if not rows:
+        lines.append("(no spans recorded)")
+        return "\n".join(lines)
+    lines.append(
+        f"{'span':28s} {'count':>8s} {'total':>10s} {'mean':>10s} {'max':>10s}"
+    )
+    for name, count, total, mean, mx in rows:
+        lines.append(
+            f"{name:28s} {count:8,d} {_fmt(total)} {_fmt(mean)} {_fmt(mx)}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt(seconds: float) -> str:
+    if seconds == 0:
+        return f"{'0':>10s}"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:>8.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:>8.2f}ms"
+    return f"{seconds:>9.3f}s"
+
+
+def _jsonable(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to JSON-safe types (repr as a last resort)."""
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, dict):
+            out[key] = {str(k): _scalar(v) for k, v in value.items()}
+        elif isinstance(value, (list, tuple)):
+            out[key] = [_scalar(v) for v in value]
+        else:
+            out[key] = repr(value)
+    return out
+
+
+def _scalar(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from . import obs
 from .apps import all_benchmarks, get_benchmark
 from .dse import explore
 from .estimation import Estimator, generate_sample_design
@@ -151,13 +152,37 @@ def _effects_section() -> List[str]:
     ]
 
 
+def _metrics_section() -> List[str]:
+    """Counters and latency histograms collected while the report ran."""
+    return [
+        "## Observability — metrics collected during this report",
+        "",
+        "Per-pass latency histograms (`pass.*`) decompose Table IV's",
+        "per-design estimation time; `dse.*` counters census the sampled",
+        "spaces. See docs/observability.md.",
+        "",
+        "```",
+        obs.metrics().summary_table(title=None),
+        "```",
+    ]
+
+
 def build_report(
     estimator: Estimator,
     dse_points: int = 400,
     sections: Optional[List[str]] = None,
 ) -> str:
-    """Render the consolidated evaluation report as markdown."""
-    chosen = sections or ["table3", "table4", "figure6", "effects"]
+    """Render the consolidated evaluation report as markdown.
+
+    Unless metrics collection is already on (e.g. the caller is tracing),
+    the report enables :mod:`repro.obs` metrics for its own duration so
+    the closing section can show where the evaluation time went.
+    """
+    chosen = sections or ["table3", "table4", "figure6", "effects", "metrics"]
+    own_metrics = "metrics" in chosen and not obs.metrics_enabled()
+    if own_metrics:
+        obs.metrics().reset()
+        obs.enable(metrics=True)
     parts: List[str] = [
         "# Evaluation report — DHDL reproduction",
         "",
@@ -166,12 +191,18 @@ def build_report(
         "EXPERIMENTS.md for interpretation.",
         "",
     ]
-    if "table3" in chosen:
-        parts += _table3_section(estimator, dse_points) + [""]
-    if "table4" in chosen:
-        parts += _table4_section(estimator) + [""]
-    if "figure6" in chosen:
-        parts += _figure6_section(estimator, dse_points) + [""]
-    if "effects" in chosen:
-        parts += _effects_section() + [""]
+    try:
+        if "table3" in chosen:
+            parts += _table3_section(estimator, dse_points) + [""]
+        if "table4" in chosen:
+            parts += _table4_section(estimator) + [""]
+        if "figure6" in chosen:
+            parts += _figure6_section(estimator, dse_points) + [""]
+        if "effects" in chosen:
+            parts += _effects_section() + [""]
+        if "metrics" in chosen:
+            parts += _metrics_section() + [""]
+    finally:
+        if own_metrics:
+            obs.enable(metrics=False)
     return "\n".join(parts)

@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict
 
+from .. import obs
 from ..ir.controllers import Controller, MetaPipe, Parallel, Pipe, Sequential
 from ..ir.graph import Design
 from ..ir.memops import TileTransfer
@@ -60,15 +61,35 @@ class SimResult:
 
 def simulate(design: Design, board: Board = MAIA) -> SimResult:
     """Simulate the execution of ``design``, returning measured cycles."""
-    result = SimResult(design.name, 0.0, board)
-    total = 0.0
-    for top in design.top_controllers:
-        total += _run(top, board, 0, result)
-    result.cycles = total
+    with obs.timed("simulate", "pass.simulate_s", design=design.name) as sp:
+        result = SimResult(design.name, 0.0, board)
+        total = 0.0
+        for top in design.top_controllers:
+            total += _run(top, board, 0, result)
+        result.cycles = total
+        sp.set(cycles=total, dram_bytes=result.dram_bytes)
     return result
 
 
 def _run(
+    ctrl: Controller, board: Board, streams: int, result: SimResult
+) -> float:
+    # Each controller's walk becomes a begin/end span on the trace
+    # timeline, mirroring the design hierarchy; the simulated cycle count
+    # rides along as an attribute (wall-clock span length is the walk
+    # itself, not the modeled hardware time).
+    with obs.span(
+        "sim.ctrl",
+        ctrl=f"{ctrl.name}#{ctrl.nid}",
+        kind=type(ctrl).__name__,
+    ) as span:
+        cycles = _run_ctrl(ctrl, board, streams, result)
+        span.set(cycles=cycles)
+    result.per_controller[f"{ctrl.name}#{ctrl.nid}"] = cycles
+    return cycles
+
+
+def _run_ctrl(
     ctrl: Controller, board: Board, streams: int, result: SimResult
 ) -> float:
     if isinstance(ctrl, TileTransfer):
@@ -110,7 +131,6 @@ def _run(
         cycles = ctrl.iterations * per_iter
     else:  # pragma: no cover - exhaustive over controller kinds
         cycles = 0.0
-    result.per_controller[f"{ctrl.name}#{ctrl.nid}"] = cycles
     return cycles
 
 

@@ -1,0 +1,149 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import threading
+import time
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestSpans:
+    def test_records_start_end_and_duration(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work"):
+            time.sleep(0.002)
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.end > span.start
+        assert span.duration >= 0.002
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("mid"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("mid2"):
+                pass
+        by_name = {s.name: s for s in tracer.spans}
+        assert by_name["outer"].parent_id is None
+        assert by_name["mid"].parent_id == by_name["outer"].span_id
+        assert by_name["inner"].parent_id == by_name["mid"].span_id
+        assert by_name["mid2"].parent_id == by_name["outer"].span_id
+
+    def test_sibling_after_nested_block_is_not_a_child(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.parent_id for s in tracer.spans] == [None, None]
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("estimate", bench="gemm") as span:
+            span.set(cycles=123, fits=True)
+        (span,) = tracer.spans
+        assert span.attrs == {"bench": "gemm", "cycles": 123, "fits": True}
+
+    def test_children_query(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent"):
+            with tracer.span("child1"):
+                pass
+            with tracer.span("child2"):
+                pass
+        parent = tracer.find("parent")[0]
+        assert {s.name for s in tracer.children(parent)} == {
+            "child1", "child2"
+        }
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert tracer.find("boom")[0].end > 0
+        # the stack is unwound so the next span is a root
+        with tracer.span("after"):
+            pass
+        assert tracer.find("after")[0].parent_id is None
+
+    def test_instants(self):
+        tracer = Tracer(enabled=True)
+        tracer.instant("progress", points=500)
+        (ev,) = tracer.instants
+        assert ev.name == "progress" and ev.attrs == {"points": 500}
+
+    def test_reset_clears_everything(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("x"):
+            tracer.instant("y")
+        tracer.reset()
+        assert tracer.spans == [] and tracer.instants == []
+
+    def test_summary_rows_aggregate_by_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("hot"):
+                pass
+        ((name, count, total, mean, mx),) = tracer.summary_rows()
+        assert name == "hot" and count == 3
+        assert total >= mean and mx <= total
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        ctx = tracer.span("x", a=1)
+        assert ctx is NULL_SPAN
+        with ctx as span:
+            span.set(b=2)  # must not raise
+        tracer.instant("y")
+        assert tracer.spans == [] and tracer.instants == []
+
+    def test_disabled_overhead_is_negligible(self):
+        """A disabled span is one flag check — far under the <5% budget."""
+        tracer = Tracer(enabled=False)
+        n = 200_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with tracer.span("hot", key="value"):
+                pass
+        elapsed = time.perf_counter() - start
+        # Very generous bound (~5us/span); the real cost is ~0.5us.
+        assert elapsed < 1.0
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_keep_per_thread_parents(self):
+        tracer = Tracer(enabled=True)
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(50):
+                    with tracer.span(f"outer-{tid}"):
+                        with tracer.span(f"inner-{tid}"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(tracer.spans) == 4 * 50 * 2
+        by_id = {s.span_id: s for s in tracer.spans}
+        for span in tracer.spans:
+            if span.name.startswith("inner-"):
+                parent = by_id[span.parent_id]
+                # each inner's parent is an outer from the same thread
+                assert parent.name == "outer-" + span.name.split("-")[1]
+                assert parent.thread_id == span.thread_id
+        assert len({s.span_id for s in tracer.spans}) == len(tracer.spans)

@@ -81,3 +81,31 @@ def test_table3_average_row_in_band():
     assert len(percents) == 4
     alm, dsp, bram, runtime = percents
     assert alm < 10 and runtime < 10 and bram < 25
+
+
+def test_bench_table4_json_schema():
+    """BENCH_table4.json (emitted by the table4 bench) stays machine-readable.
+
+    This is the baseline future performance PRs diff against, so the
+    schema is load-bearing: per-benchmark points/sec plus the per-pass
+    latency decomposition from the repro.obs metrics layer.
+    """
+    import json
+
+    path = RESULTS.parent.parent / "BENCH_table4.json"
+    if not path.exists():
+        pytest.skip("BENCH_table4.json not generated (run the table4 bench)")
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == 1
+    assert set(doc["gda_table4"]) == {
+        "ours_s", "hls_restricted_s", "hls_full_s"
+    }
+    assert doc["benchmarks"], "no per-benchmark entries"
+    for name, entry in doc["benchmarks"].items():
+        assert entry["points"] > 0, name
+        assert entry["points_per_sec"] > 0, name
+        assert entry["s_per_design"] * entry["points_per_sec"] == pytest.approx(1.0)
+        for pass_name in ("cycles_s", "area_s", "area_nn_s", "area_raw_s"):
+            summary = entry["passes"][pass_name]
+            assert summary["count"] == entry["points"], (name, pass_name)
+            assert 0 <= summary["p50"] <= summary["p95"] <= summary["max"]

@@ -1,10 +1,12 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
-from repro.cli import main
+from repro import obs
+from repro.cli import _parse_overrides, main
 
 
 def run_cli(estimator, *argv):
@@ -50,6 +52,29 @@ class TestEstimate:
     def test_malformed_override_rejected(self, estimator):
         with pytest.raises(SystemExit, match="key=value"):
             run_cli(estimator, "estimate", "tpchq6", "--set", "par")
+
+
+class TestParseOverrides:
+    def test_non_numeric_value_is_friendly_error_naming_key(self):
+        with pytest.raises(SystemExit, match="--set tile"):
+            _parse_overrides(["tile=abc"])
+
+    def test_int_bool_and_float_values(self):
+        assert _parse_overrides(["a=4", "b=true", "c=1.5"]) == {
+            "a": 4, "b": True, "c": 1.5
+        }
+
+    def test_whole_float_coerces_for_integer_parameter(self, estimator):
+        _, text = run_cli(
+            estimator, "estimate", "tpchq6", "--set", "par=16.0"
+        )
+        assert "'par': 16" in text
+
+    def test_fractional_float_for_integer_parameter_rejected(
+        self, estimator
+    ):
+        with pytest.raises(SystemExit, match="--set par.*expects an integer"):
+            run_cli(estimator, "estimate", "tpchq6", "--set", "par=4.5")
 
 
 class TestExplore:
@@ -103,3 +128,86 @@ class TestPower:
         assert code == 0
         assert "total power" in text
         assert "energy/run" in text
+
+
+class TestObservabilityFlags:
+    def test_estimate_trace_writes_chrome_trace(self, estimator, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, text = run_cli(
+            estimator, "estimate", "tpchq6", "--trace", str(trace)
+        )
+        assert code == 0
+        assert f"wrote" in text and str(trace) in text
+        doc = json.loads(trace.read_text())
+        names = {
+            e["name"] for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"estimate", "cycles", "area"} <= names
+
+    def test_explore_trace_has_nested_pipeline_spans(
+        self, estimator, tmp_path
+    ):
+        trace = tmp_path / "trace.json"
+        code, _ = run_cli(
+            estimator, "explore", "tpchq6", "--points", "15",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = {e["name"] for e in spans}
+        assert {"explore", "estimate", "cycles", "area"} <= names
+        explore_span = next(e for e in spans if e["name"] == "explore")
+        est = next(e for e in spans if e["name"] == "estimate")
+        assert explore_span["ts"] <= est["ts"]
+        assert (est["ts"] + est["dur"]
+                <= explore_span["ts"] + explore_span["dur"] + 1e-6)
+
+    def test_explore_metrics_prints_counters_and_histogram(
+        self, estimator
+    ):
+        code, text = run_cli(
+            estimator, "explore", "tpchq6", "--points", "15", "--metrics"
+        )
+        assert code == 0
+        assert "dse.points.sampled" in text
+        assert "dse.points.valid" in text
+        assert "dse.point_latency_s" in text
+        assert "p95" in text
+
+    def test_estimate_metrics_summary(self, estimator):
+        code, text = run_cli(
+            estimator, "estimate", "tpchq6", "--metrics"
+        )
+        assert code == 0
+        assert "estimate.calls" in text
+        assert "pass.cycles_s" in text and "pass.area_s" in text
+
+    def test_codegen_trace_and_metrics(self, estimator, tmp_path):
+        trace = tmp_path / "trace.json"
+        code, text = run_cli(
+            estimator, "codegen", "tpchq6",
+            "-o", str(tmp_path / "k.maxj"),
+            "--trace", str(trace), "--metrics",
+        )
+        assert code == 0
+        assert "codegen.lines" in text
+        doc = json.loads(trace.read_text())
+        assert any(
+            e["name"] == "codegen" for e in doc["traceEvents"]
+        )
+
+    def test_flags_leave_observability_off_afterwards(
+        self, estimator, tmp_path
+    ):
+        run_cli(
+            estimator, "estimate", "tpchq6",
+            "--trace", str(tmp_path / "t.json"), "--metrics",
+        )
+        assert not obs.trace_enabled() and not obs.metrics_enabled()
+
+    def test_without_flags_nothing_is_recorded(self, estimator):
+        obs.reset()
+        run_cli(estimator, "estimate", "tpchq6")
+        assert obs.tracer().spans == []
+        assert not obs.metrics()
