@@ -15,10 +15,13 @@ machine-readable ``BENCH_table4.json`` at the repo root via the
 :mod:`repro.obs` metrics layer: per-benchmark points/sec plus the
 per-pass latency decomposition (cycle model vs area model vs NN
 corrections), so future performance PRs can diff against a committed
-baseline.
+baseline.  A ``parallel_dse`` section records sharded-explore throughput
+per worker count (with the host cpu count, so speedups stay honest) and
+asserts every parallel sweep enumerates exactly the serial point set.
 """
 
 import json
+import os
 import platform
 import random
 import time
@@ -28,7 +31,9 @@ import pytest
 
 from repro import obs
 from repro.apps import all_benchmarks, get_benchmark
+from repro.dse import explore
 from repro.hls import HLSExplosionError, HLSTool
+from repro.runtime import fork_available
 
 from conftest import write_result
 
@@ -36,6 +41,14 @@ N_OURS = 250
 N_RESTRICTED = 25
 N_FULL = 4
 N_JSON = 40  # points per benchmark for the BENCH_table4.json decomposition
+
+# Parallel-DSE scaling section: points swept per worker count, and the
+# worker counts measured. Speedups only materialize with that many real
+# cores; the committed JSON records the host's cpu count alongside.
+N_PARALLEL = 600
+PARALLEL_WORKERS = (1, 2, 4)
+PARALLEL_SHARDS = 8
+PARALLEL_BENCH = "dotproduct"
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_table4.json"
 
@@ -105,6 +118,52 @@ def test_table4_speeds(estimator, gda_points, results_dir):
     )
 
 
+def _parallel_dse_section(estimator):
+    """Measure sharded-explore throughput for each worker count.
+
+    Every run must enumerate the same point set as the serial sweep —
+    that determinism check is asserted here, not just recorded.  Speedup
+    numbers are honest: on a 1-core host all worker counts time out at
+    roughly 1.0x, so the host cpu count is committed alongside.
+    """
+    bench = get_benchmark(PARALLEL_BENCH)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+
+    rows = {}
+    reference = None
+    serial_elapsed = None
+    for workers in PARALLEL_WORKERS:
+        start = time.perf_counter()
+        result = explore(bench, estimator, max_points=N_PARALLEL, seed=13,
+                         shards=PARALLEL_SHARDS, workers=workers)
+        elapsed = time.perf_counter() - start
+        fingerprint = [(p.params, p.cycles) for p in result.points]
+        if reference is None:
+            reference = fingerprint
+            serial_elapsed = elapsed
+        # Sharded/parallel sweeps must visit exactly the serial point set.
+        assert fingerprint == reference, (
+            f"workers={workers} diverged from the serial sweep"
+        )
+        rows[str(workers)] = {
+            "elapsed_s": elapsed,
+            "points_per_sec": len(result.points) / elapsed,
+            "speedup_vs_serial": serial_elapsed / elapsed,
+        }
+    return {
+        "benchmark": PARALLEL_BENCH,
+        "points": N_PARALLEL,
+        "shards": PARALLEL_SHARDS,
+        "cpus": cpus,
+        "fork_available": fork_available(),
+        "note": "speedup_vs_serial saturates at the committed cpu count",
+        "workers": rows,
+    }
+
+
 def _write_bench_json(estimator, gda_timings):
     """Emit BENCH_table4.json: per-benchmark rates + per-pass timing."""
     was_enabled = obs.metrics_enabled()
@@ -146,6 +205,7 @@ def _write_bench_json(estimator, gda_timings):
         },
         "gda_table4": gda_timings,
         "benchmarks": benches,
+        "parallel_dse": _parallel_dse_section(estimator),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {BENCH_JSON}")

@@ -4,7 +4,10 @@ Subcommands mirror the paper's flow:
 
 * ``repro list`` — Table II benchmark inventory;
 * ``repro estimate BENCH [--set k=v ...]`` — estimate one design point;
-* ``repro explore BENCH --points N`` — design space exploration + Pareto;
+* ``repro explore BENCH --points N`` — design space exploration + Pareto,
+  with ``--workers``/``--shards`` for the parallel engine and
+  ``--checkpoint-dir``/``--resume`` for kill/resume (see
+  ``docs/runtime.md``);
 * ``repro speedup BENCH`` — best design vs the modeled CPU (Figure 6);
 * ``repro codegen BENCH -o FILE`` — emit MaxJ for a design point;
 * ``repro power BENCH`` — power/energy estimate (extension);
@@ -12,9 +15,10 @@ Subcommands mirror the paper's flow:
 * ``repro report -o FILE`` — consolidated evaluation report.
 
 ``estimate``/``explore``/``speedup``/``codegen`` accept ``--trace FILE``
-(write a Chrome trace-event file — open in chrome://tracing or Perfetto)
-and ``--metrics`` (print counter/histogram summaries); see
-``docs/observability.md``.
+(write a Chrome trace-event file — open in chrome://tracing or Perfetto),
+``--trace-jsonl FILE`` (stream spans incrementally with bounded memory,
+optionally capped via ``--span-cap N``), and ``--metrics`` (print
+counter/histogram summaries); see ``docs/observability.md``.
 
 Invoke as ``python -m repro ...``.
 """
@@ -31,6 +35,7 @@ from .codegen import generate_maxj
 from .dse import explore
 from .estimation import Estimator, default_estimator
 from .estimation.power import estimate_power
+from .runtime import CheckpointError
 from .sim import simulate
 
 
@@ -112,16 +117,54 @@ def cmd_estimate(args, out, estimator: Optional[Estimator] = None) -> int:
     return 0
 
 
+def _parse_parallel_args(args):
+    """Validate --workers/--shards/--checkpoint-dir/--resume combinations."""
+    if args.workers < 1:
+        raise SystemExit(
+            f"--workers expects a positive integer (got {args.workers}); "
+            "use --workers 1 for the serial path"
+        )
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit(
+            f"--shards expects a positive integer (got {args.shards}); "
+            "omit it to default to one shard per worker"
+        )
+    checkpoint_dir = args.checkpoint_dir
+    resume = False
+    if args.resume:
+        if checkpoint_dir and checkpoint_dir != args.resume:
+            raise SystemExit(
+                "--resume DIR already names the checkpoint directory; "
+                "drop --checkpoint-dir (or make them match)"
+            )
+        checkpoint_dir = args.resume
+        resume = True
+    return checkpoint_dir, resume
+
+
 def cmd_explore(args, out, estimator: Optional[Estimator] = None) -> int:
     """``repro explore``: sample the design space and print the Pareto front."""
+    checkpoint_dir, resume = _parse_parallel_args(args)
     bench = get_benchmark(args.benchmark)
     estimator = estimator or default_estimator()
-    result = explore(bench, estimator, max_points=args.points, seed=args.seed)
+    try:
+        result = explore(
+            bench, estimator, max_points=args.points, seed=args.seed,
+            shards=args.shards, workers=args.workers,
+            checkpoint_dir=checkpoint_dir, resume=resume,
+        )
+    except CheckpointError as exc:
+        raise SystemExit(str(exc)) from None
+    parallel = ""
+    if result.shards > 1 or result.workers > 1 or result.restored:
+        parallel = f"; {result.shards} shards x {result.workers} workers"
+        if result.restored:
+            parallel += f"; {result.restored} restored from checkpoint"
     print(
         f"explored {len(result.points)} points "
         f"({1e3 * result.seconds_per_point:.2f} ms/point); "
         f"{len(result.valid_points)} fit; "
-        f"{len(result.pareto)} Pareto-optimal",
+        f"{len(result.pareto)} Pareto-optimal" + parallel,
         file=out,
     )
     print(f"{'cycles':>14s} {'ALMs':>9s} {'BRAMs':>6s}  params", file=out)
@@ -233,8 +276,14 @@ def cmd_report(args, out, estimator: Optional[Estimator] = None) -> int:
     """``repro report``: consolidated evaluation report."""
     from .report import build_report
 
+    if args.workers < 1:
+        raise SystemExit(
+            f"--workers expects a positive integer (got {args.workers}); "
+            "use --workers 1 for the serial path"
+        )
     estimator = estimator or default_estimator()
-    text = build_report(estimator, dse_points=args.points)
+    text = build_report(estimator, dse_points=args.points,
+                        workers=args.workers)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)
@@ -261,6 +310,16 @@ def build_parser() -> argparse.ArgumentParser:
         "(open in chrome://tracing or https://ui.perfetto.dev)",
     )
     obs_flags.add_argument(
+        "--trace-jsonl", metavar="FILE.jsonl",
+        help="stream spans incrementally to a JSONL file (bounded "
+        "memory; suits paper-scale sweeps)",
+    )
+    obs_flags.add_argument(
+        "--span-cap", type=int, default=None, metavar="N",
+        help="keep at most N finished spans in memory (spans beyond the "
+        "cap still stream to --trace-jsonl)",
+    )
+    obs_flags.add_argument(
         "--metrics", action="store_true",
         help="print counter/histogram summaries after the command",
     )
@@ -284,6 +343,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--show", type=int, default=8,
                    help="Pareto points to print")
     p.add_argument("--csv", help="dump all points to a CSV file")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (forked after estimator "
+                   "training; 1 = serial in-process)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="sampling shards (default: one per worker; any "
+                   "value yields identical points for a fixed seed)")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="write per-shard JSONL checkpoints to DIR")
+    p.add_argument("--resume", metavar="DIR",
+                   help="resume a killed sweep from DIR's checkpoints "
+                   "(skips completed work)")
 
     p = sub.add_parser("speedup", help="best design vs the CPU baseline",
                        parents=[obs_flags])
@@ -310,6 +380,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("report", help="consolidated evaluation report")
     p.add_argument("--points", type=int, default=400,
                    help="DSE budget per benchmark")
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for the report's DSE sweeps")
     p.add_argument("-o", "--output", help="output file (default: stdout)")
     return parser
 
@@ -340,16 +412,34 @@ def main(argv: Optional[List[str]] = None, out=None,
     args = build_parser().parse_args(argv)
     out = out or sys.stdout
     trace_file = getattr(args, "trace", None)
+    stream_file = getattr(args, "trace_jsonl", None)
+    span_cap = getattr(args, "span_cap", None)
+    if span_cap is not None and span_cap < 0:
+        raise SystemExit(
+            f"--span-cap expects a non-negative integer (got {span_cap})"
+        )
     want_metrics = bool(getattr(args, "metrics", False))
-    if not (trace_file or want_metrics):
+    if not (trace_file or stream_file or want_metrics):
         return _dispatch(args, out, estimator)
 
     obs.reset()
-    obs.enable(trace=bool(trace_file), metrics=want_metrics)
+    obs.enable(trace=bool(trace_file or stream_file), metrics=want_metrics)
+    stream = None
+    if stream_file:
+        stream = obs.stream_to_jsonl(stream_file, span_cap=span_cap)
+    elif span_cap is not None:
+        obs.tracer().span_cap = span_cap
     try:
         code = _dispatch(args, out, estimator)
     finally:
         obs.disable()
+        if stream is not None:
+            obs.stop_streaming()
+            print(
+                f"streamed {stream.written} spans/instants to "
+                f"{stream_file}",
+                file=out,
+            )
         if want_metrics:
             print(obs.metrics().summary_table(), file=out)
             if obs.tracer().spans:
@@ -361,6 +451,7 @@ def main(argv: Optional[List[str]] = None, out=None,
                 "(open in chrome://tracing or https://ui.perfetto.dev)",
                 file=out,
             )
+        obs.tracer().span_cap = None
     return code
 
 

@@ -6,24 +6,34 @@ capacity caps), estimates every point with the fast estimator, discards
 designs that do not fit the device, and extracts the Pareto frontier along
 execution cycles x ALM usage.
 
-When observability is enabled (:mod:`repro.obs`), the loop records the
+Execution is delegated to the :mod:`repro.runtime` engine: the seeded
+sample is split into disjoint shards (:mod:`repro.runtime.sharding`) and
+run either in-process or across forked workers
+(:mod:`repro.runtime.pool`), optionally checkpointing per-shard JSONL
+files for kill/resume (:mod:`repro.runtime.checkpoint`). For a fixed
+seed the sampled point set — and therefore the Pareto front — is
+identical for every ``shards``/``workers`` combination; the merge layer
+(:mod:`repro.runtime.merge`) enforces that no point is dropped or
+duplicated.
+
+When observability is enabled (:mod:`repro.obs`), the run records the
 per-point estimation-latency histogram (``dse.point_latency_s``), point
-outcome counters (``dse.points.{sampled,illegal,unfit,valid}``), and a
-periodic ``dse.progress`` instant event carrying points/sec — the numbers
-behind the paper's "75,000 points in seconds" DSE claim.
+outcome counters (``dse.points.{sampled,illegal,unfit,valid,restored}``),
+periodic ``dse.progress`` instants carrying points/sec, and — in sharded
+runs — per-shard ``dse.shard.done`` heartbeats: the numbers behind the
+paper's "75,000 points in seconds" DSE claim.
 """
 
 from __future__ import annotations
 
-import random
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from .. import obs
 from ..apps.registry import Benchmark, Dataset
 from ..estimation.estimator import Estimate, Estimator
-from ..ir.node import IRError
+from ..runtime import CheckpointStore, merge_outcomes, plan_shards, run_plan
 from .pareto import pareto_front
 
 DEFAULT_MAX_POINTS = 75_000
@@ -63,6 +73,9 @@ class ExplorationResult:
     space_cardinality: int = 0
     legal_sampled: int = 0
     elapsed_seconds: float = 0.0
+    shards: int = 1
+    workers: int = 1
+    restored: int = 0
 
     @property
     def valid_points(self) -> List[DesignPoint]:
@@ -104,56 +117,69 @@ def explore(
     max_points: int = DEFAULT_MAX_POINTS,
     seed: int = 1,
     progress_every: int = PROGRESS_EVERY,
+    shards: Optional[int] = None,
+    workers: int = 1,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+    resume: bool = False,
 ) -> ExplorationResult:
-    """Explore ``benchmark``'s design space with ``estimator``."""
+    """Explore ``benchmark``'s design space with ``estimator``.
+
+    ``shards`` defaults to ``workers`` (one shard per worker); any
+    explicit value yields the same points and Pareto front, only
+    different heartbeat/checkpoint granularity. ``workers > 1`` forks a
+    process pool after the estimator is trained. ``checkpoint_dir``
+    writes per-shard JSONL checkpoints there; ``resume=True`` restores
+    completed work from that directory instead of re-estimating it.
+    """
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if shards is None:
+        shards = workers
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+
     dataset = dataset or benchmark.default_dataset()
     space = benchmark.param_space(dataset)
-    rng = random.Random(seed)
-
-    latency = obs.histogram("dse.point_latency_s")
-    illegal_c = obs.counter("dse.points.illegal")
-    unfit_c = obs.counter("dse.points.unfit")
-    valid_c = obs.counter("dse.points.valid")
 
     with obs.span(
-        "explore", bench=benchmark.name, budget=max_points, seed=seed
+        "explore", bench=benchmark.name, budget=max_points, seed=seed,
+        shards=shards, workers=workers,
     ) as sp:
-        sampled = space.sample(rng, max_points)
-        obs.counter("dse.points.sampled").inc(len(sampled))
+        plan = plan_shards(space, seed, max_points, shards)
+        obs.counter("dse.points.sampled").inc(plan.total_points)
+
+        store = (
+            CheckpointStore(checkpoint_dir)
+            if checkpoint_dir is not None else None
+        )
+        run = run_plan(
+            benchmark, estimator, dataset, plan,
+            workers=workers, store=store, resume=resume,
+            progress_every=progress_every,
+        )
+        records, conservation = merge_outcomes(plan, run.outcomes)
+        conservation.verify()
 
         result = ExplorationResult(
             benchmark=benchmark.name,
             dataset=dataset,
-            space_cardinality=space.cardinality,
-            legal_sampled=len(sampled),
+            space_cardinality=plan.space_cardinality,
+            legal_sampled=plan.total_points,
+            elapsed_seconds=run.elapsed_s,
+            shards=plan.n_shards,
+            workers=run.workers,
+            restored=run.restored,
         )
-        start = time.perf_counter()
-        for i, params in enumerate(sampled, 1):
-            t0 = time.perf_counter()
-            try:
-                design = benchmark.build(dataset, **params)
-            except IRError:
-                illegal_c.inc()
-                continue  # point violates a structural rule not in the space
-            estimate = estimator.estimate(design)
-            latency.observe(time.perf_counter() - t0)
-            (valid_c if estimate.fits() else unfit_c).inc()
-            result.points.append(DesignPoint(params, estimate))
-            if progress_every and i % progress_every == 0:
-                elapsed = time.perf_counter() - start
-                rate = i / elapsed if elapsed > 0 else 0.0
-                obs.gauge("dse.points_per_sec").set(rate)
-                obs.instant(
-                    "dse.progress",
-                    bench=benchmark.name,
-                    points=i,
-                    total=len(sampled),
-                    points_per_sec=round(rate, 1),
-                )
-        result.elapsed_seconds = time.perf_counter() - start
+        result.points = [
+            DesignPoint(r.params, r.estimate)
+            for r in records if not r.illegal
+        ]
         sp.set(
             points=len(result.points),
             valid=sum(1 for p in result.points if p.valid),
+            restored=run.restored,
             elapsed_s=round(result.elapsed_seconds, 6),
         )
     return result

@@ -64,10 +64,23 @@ class Estimator:
         seed: int = 7,
     ) -> None:
         self.board = board
-        self.templates = templates or characterize_templates(board.device)
-        self.corrections = corrections or train_corrections(
-            self.templates, board, n_samples=training_samples, seed=seed
-        )
+        if templates is None:
+            with obs.timed(
+                "estimator.characterize", "estimator.characterize_s",
+                board=board.name,
+            ):
+                templates = characterize_templates(board.device)
+        self.templates = templates
+        if corrections is None:
+            with obs.timed(
+                "estimator.train", "estimator.train_s",
+                board=board.name, samples=training_samples,
+            ):
+                corrections = train_corrections(
+                    self.templates, board,
+                    n_samples=training_samples, seed=seed,
+                )
+        self.corrections = corrections
 
     def estimate_cycles(self, design: Design) -> CycleEstimate:
         """Runtime estimate only (paper Section IV-B1)."""
@@ -93,6 +106,29 @@ class Estimator:
 
 
 @functools.lru_cache(maxsize=4)
-def default_estimator(board: Board = MAIA, seed: int = 7) -> Estimator:
-    """Process-wide shared estimator (characterize + train once)."""
+def _build_default_estimator(board: Board, seed: int) -> Estimator:
+    """The cached constructor behind :func:`default_estimator`."""
     return Estimator(board, seed=seed)
+
+
+def default_estimator(board: Board = MAIA, seed: int = 7) -> Estimator:
+    """Process-wide shared estimator (characterize + train once).
+
+    Counts ``estimator.cache.{hit,miss}`` so the cold-start cost
+    (characterization + NN training, visible as ``estimator.characterize``
+    / ``estimator.train`` spans) can be separated from steady-state CLI
+    latency — and so per-worker warm-up shows up in parallel-DSE benches.
+    """
+    misses_before = _build_default_estimator.cache_info().misses
+    estimator = _build_default_estimator(board, seed)
+    if _build_default_estimator.cache_info().misses > misses_before:
+        obs.counter("estimator.cache.miss").inc()
+    else:
+        obs.counter("estimator.cache.hit").inc()
+    return estimator
+
+
+# Cache management passthroughs: callers treat default_estimator as if it
+# were the lru_cache-decorated function itself.
+default_estimator.cache_info = _build_default_estimator.cache_info
+default_estimator.cache_clear = _build_default_estimator.cache_clear

@@ -28,14 +28,22 @@ import time
 from typing import Any, Optional
 
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .sinks import span_summary, to_chrome_trace, write_chrome_trace, write_jsonl
+from .sinks import (
+    JsonlStreamWriter,
+    span_summary,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
 from .trace import NULL_SPAN, InstantEvent, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DEFAULT_SPAN_CAP",
     "Gauge",
     "Histogram",
     "InstantEvent",
+    "JsonlStreamWriter",
     "MetricsRegistry",
     "NULL_SPAN",
     "Span",
@@ -51,6 +59,8 @@ __all__ = [
     "reset",
     "span",
     "span_summary",
+    "stop_streaming",
+    "stream_to_jsonl",
     "timed",
     "to_chrome_trace",
     "trace_enabled",
@@ -58,6 +68,10 @@ __all__ = [
     "write_chrome_trace",
     "write_jsonl",
 ]
+
+#: Default in-memory retention when streaming: enough for summaries,
+#: far below a paper-scale sweep's ~375k spans.
+DEFAULT_SPAN_CAP = 100_000
 
 _TRACER = Tracer(enabled=False)
 _METRICS = MetricsRegistry(enabled=False)
@@ -101,6 +115,27 @@ def reset() -> None:
 def trace_enabled() -> bool:
     """Whether the global tracer is currently recording."""
     return _TRACER.enabled
+
+
+def stream_to_jsonl(path, span_cap=DEFAULT_SPAN_CAP) -> JsonlStreamWriter:
+    """Stream the global tracer's events incrementally to a JSONL file.
+
+    Attaches a :class:`JsonlStreamWriter` and caps in-memory retention at
+    ``span_cap`` finished spans/instants (``None`` keeps everything
+    resident). Returns the writer; call :func:`stop_streaming` (or the
+    writer's ``close``) when done.
+    """
+    writer = JsonlStreamWriter(path)
+    _TRACER.span_cap = span_cap
+    _TRACER.attach_stream(writer)
+    return writer
+
+
+def stop_streaming() -> None:
+    """Detach and close the tracer's streaming sink, if any."""
+    stream = _TRACER.detach_stream()
+    if stream is not None:
+        stream.close()
 
 
 def metrics_enabled() -> bool:

@@ -14,11 +14,13 @@
 from __future__ import annotations
 
 import json
-from typing import IO, Any, Dict, List, Union
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional, Union
 
-from .trace import Tracer
+from .trace import InstantEvent, Span, Tracer
 
 __all__ = [
+    "JsonlStreamWriter",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
@@ -80,46 +82,105 @@ def write_chrome_trace(
             json.dump(doc, fh)
 
 
+def _span_record(span: Span) -> Dict[str, Any]:
+    """One span as the JSONL line dict (shared by batch + stream sinks)."""
+    return {
+        "type": "span",
+        "name": span.name,
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "thread": span.thread_id,
+        "start_s": span.start,
+        "end_s": span.end,
+        "duration_s": span.duration,
+        "attrs": _jsonable(span.attrs),
+    }
+
+
+def _instant_record(ev: InstantEvent) -> Dict[str, Any]:
+    """One instant event as the JSONL line dict."""
+    return {
+        "type": "instant",
+        "name": ev.name,
+        "thread": ev.thread_id,
+        "ts_s": ev.ts,
+        "attrs": _jsonable(ev.attrs),
+    }
+
+
 def write_jsonl(tracer: Tracer, dest: Union[str, IO[str]]) -> None:
     """Write every span and instant as one JSON object per line."""
 
     def _dump(fh: IO[str]) -> None:
         for span in tracer.spans:
-            fh.write(
-                json.dumps(
-                    {
-                        "type": "span",
-                        "name": span.name,
-                        "id": span.span_id,
-                        "parent": span.parent_id,
-                        "thread": span.thread_id,
-                        "start_s": span.start,
-                        "end_s": span.end,
-                        "duration_s": span.duration,
-                        "attrs": _jsonable(span.attrs),
-                    }
-                )
-                + "\n"
-            )
+            fh.write(json.dumps(_span_record(span)) + "\n")
         for ev in tracer.instants:
-            fh.write(
-                json.dumps(
-                    {
-                        "type": "instant",
-                        "name": ev.name,
-                        "thread": ev.thread_id,
-                        "ts_s": ev.ts,
-                        "attrs": _jsonable(ev.attrs),
-                    }
-                )
-                + "\n"
-            )
+            fh.write(json.dumps(_instant_record(ev)) + "\n")
 
     if hasattr(dest, "write"):
         _dump(dest)  # type: ignore[arg-type]
     else:
         with open(dest, "w") as fh:  # type: ignore[arg-type]
             _dump(fh)
+
+
+class JsonlStreamWriter:
+    """Incremental JSONL sink for :meth:`Tracer.attach_stream`.
+
+    Writes each finished span/instant as it completes instead of holding
+    it in memory, so a traced paper-scale explore (~375k spans at 75k
+    points) runs in bounded space. Lines are flushed every
+    ``flush_every`` writes; pair with ``Tracer.span_cap`` to also bound
+    the in-memory lists.
+    """
+
+    def __init__(
+        self,
+        dest: Union[str, Path, IO[str]],
+        flush_every: int = 1000,
+    ) -> None:
+        if hasattr(dest, "write"):
+            self._fh: Optional[IO[str]] = dest  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(dest, "w")  # type: ignore[arg-type]
+            self._owns = True
+        self._flush_every = max(int(flush_every), 1)
+        self._pending = 0
+        self.written = 0
+
+    def write_span(self, span: Span) -> None:
+        """Append one finished span (called under the tracer's lock)."""
+        self._write(_span_record(span))
+
+    def write_instant(self, event: InstantEvent) -> None:
+        """Append one instant event (called under the tracer's lock)."""
+        self._write(_instant_record(event))
+
+    def _write(self, record: Dict[str, Any]) -> None:
+        if self._fh is None:  # pragma: no cover - write after close
+            return
+        self._fh.write(json.dumps(record) + "\n")
+        self.written += 1
+        self._pending += 1
+        if self._pending >= self._flush_every:
+            self._fh.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        """Flush and (if this writer opened the file) close it."""
+        if self._fh is None:
+            return
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "JsonlStreamWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 def span_summary(tracer: Tracer, title: str = "spans") -> str:

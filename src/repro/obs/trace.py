@@ -15,6 +15,13 @@ The tracer is disabled by default and designed so that instrumentation
 left in hot paths costs almost nothing when off: ``span()`` checks one
 flag and returns a shared no-op singleton — no allocation, no clock read,
 no locking.
+
+For paper-scale sweeps (a traced 75k-point explore produces ~375k spans)
+the tracer supports bounded retention: :meth:`Tracer.attach_stream`
+forwards every finished span/instant to an incremental writer (see
+:class:`repro.obs.sinks.JsonlStreamWriter`) and ``span_cap`` limits how
+many finished events stay resident, counting the overflow in
+``dropped_spans``/``dropped_instants``.
 """
 
 from __future__ import annotations
@@ -105,15 +112,40 @@ class Tracer:
     near zero.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(
+        self, enabled: bool = False, span_cap: Optional[int] = None
+    ) -> None:
         self.enabled = enabled
+        self.span_cap = span_cap
+        self.dropped_spans = 0
+        self.dropped_instants = 0
         self._lock = threading.Lock()
         self._local = threading.local()
         self._epoch = time.perf_counter()
         self._next_id = 1
         self._thread_ids: Dict[int, int] = {}
+        self._stream = None
         self.spans: List[Span] = []
         self.instants: List[InstantEvent] = []
+
+    # -- streaming / retention ---------------------------------------------
+
+    def attach_stream(self, stream) -> None:
+        """Forward every finished span/instant to ``stream`` as recorded.
+
+        ``stream`` needs ``write_span(span)`` and ``write_instant(event)``
+        methods (see :class:`repro.obs.sinks.JsonlStreamWriter`). With a
+        stream attached, ``span_cap`` bounds only in-memory retention —
+        streamed output stays complete.
+        """
+        with self._lock:
+            self._stream = stream
+
+    def detach_stream(self):
+        """Stop forwarding events; returns the previously attached stream."""
+        with self._lock:
+            stream, self._stream = self._stream, None
+        return stream
 
     # -- recording ---------------------------------------------------------
 
@@ -144,14 +176,21 @@ class Tracer:
         if not self.enabled:
             return
         with self._lock:
-            self.instants.append(
-                InstantEvent(
-                    name=name,
-                    thread_id=self._thread_index(),
-                    ts=time.perf_counter() - self._epoch,
-                    attrs=dict(attrs),
-                )
+            event = InstantEvent(
+                name=name,
+                thread_id=self._thread_index(),
+                ts=time.perf_counter() - self._epoch,
+                attrs=dict(attrs),
             )
+            if self._stream is not None:
+                self._stream.write_instant(event)
+            if (
+                self.span_cap is not None
+                and len(self.instants) >= self.span_cap
+            ):
+                self.dropped_instants += 1
+            else:
+                self.instants.append(event)
 
     def _finish(self, span: Span) -> None:
         span.end = time.perf_counter() - self._epoch
@@ -161,7 +200,15 @@ class Tracer:
         elif span.span_id in stack:  # pragma: no cover - misnested exit
             stack.remove(span.span_id)
         with self._lock:
-            self.spans.append(span)
+            if self._stream is not None:
+                self._stream.write_span(span)
+            if (
+                self.span_cap is not None
+                and len(self.spans) >= self.span_cap
+            ):
+                self.dropped_spans += 1
+            else:
+                self.spans.append(span)
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -187,6 +234,8 @@ class Tracer:
             self.instants.clear()
             self._thread_ids.clear()
             self._next_id = 1
+            self.dropped_spans = 0
+            self.dropped_instants = 0
             self._epoch = time.perf_counter()
 
     # -- queries -----------------------------------------------------------

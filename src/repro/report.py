@@ -28,7 +28,7 @@ PAPER_SPEEDUPS = {
 }
 
 
-def _table3_section(estimator: Estimator, points: int) -> List[str]:
+def _table3_section(estimator: Estimator, points: int, workers: int = 1) -> List[str]:
     lines = [
         "## Table III — estimation error (5 Pareto points per benchmark)",
         "",
@@ -37,7 +37,8 @@ def _table3_section(estimator: Estimator, points: int) -> List[str]:
     ]
     totals = {"alm": [], "dsp": [], "bram": [], "run": []}
     for bench in all_benchmarks():
-        result = explore(bench, estimator, max_points=points, seed=17)
+        result = explore(bench, estimator, max_points=points, seed=17,
+                         workers=workers)
         errs = {"alm": [], "dsp": [], "bram": [], "run": []}
         for point in result.pareto_sample(5):
             design = bench.build(result.dataset, **point.params)
@@ -108,7 +109,7 @@ def _table4_section(estimator: Estimator) -> List[str]:
     ]
 
 
-def _figure6_section(estimator: Estimator, points: int) -> List[str]:
+def _figure6_section(estimator: Estimator, points: int, workers: int = 1) -> List[str]:
     lines = [
         "## Figure 6 — best-design speedup over the 6-core CPU",
         "",
@@ -116,7 +117,8 @@ def _figure6_section(estimator: Estimator, points: int) -> List[str]:
         "|---|---|---|",
     ]
     for bench in all_benchmarks():
-        result = explore(bench, estimator, max_points=points, seed=31)
+        result = explore(bench, estimator, max_points=points, seed=31,
+                         workers=workers)
         best = result.best
         design = bench.build(result.dataset, **best.params)
         speedup = bench.cpu_time(result.dataset) / simulate(design).seconds
@@ -171,12 +173,16 @@ def build_report(
     estimator: Estimator,
     dse_points: int = 400,
     sections: Optional[List[str]] = None,
+    workers: int = 1,
 ) -> str:
     """Render the consolidated evaluation report as markdown.
 
     Unless metrics collection is already on (e.g. the caller is tracing),
     the report enables :mod:`repro.obs` metrics for its own duration so
     the closing section can show where the evaluation time went.
+    ``workers`` routes the DSE sweeps (Table III, Figure 6) through the
+    sharded :mod:`repro.runtime` engine — identical results, less
+    wall-clock on multicore hosts.
     """
     chosen = sections or ["table3", "table4", "figure6", "effects", "metrics"]
     own_metrics = "metrics" in chosen and not obs.metrics_enabled()
@@ -193,11 +199,11 @@ def build_report(
     ]
     try:
         if "table3" in chosen:
-            parts += _table3_section(estimator, dse_points) + [""]
+            parts += _table3_section(estimator, dse_points, workers) + [""]
         if "table4" in chosen:
             parts += _table4_section(estimator) + [""]
         if "figure6" in chosen:
-            parts += _figure6_section(estimator, dse_points) + [""]
+            parts += _figure6_section(estimator, dse_points, workers) + [""]
         if "effects" in chosen:
             parts += _effects_section() + [""]
         if "metrics" in chosen:

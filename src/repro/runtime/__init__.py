@@ -1,0 +1,67 @@
+"""Sharded parallel DSE engine (checkpoint/resume, Pareto merging).
+
+The paper's headline workflow sweeps up to 75,000 legal design points
+per benchmark; after estimator training every point is independent, so
+this package turns :func:`repro.dse.explore` from a serial loop into a
+job engine:
+
+* :mod:`~repro.runtime.sharding` — one central seeded sample, split into
+  N disjoint contiguous shards (bit-identical to serial for every N);
+* :mod:`~repro.runtime.pool` — serial in-process execution or a
+  fork-after-training process pool, with heartbeats into
+  :mod:`repro.obs`;
+* :mod:`~repro.runtime.checkpoint` — per-shard JSONL checkpoints and
+  kill/resume;
+* :mod:`~repro.runtime.merge` — global reassembly with conservation
+  checks plus streaming Pareto-front merging.
+
+See ``docs/runtime.md`` for the architecture and the determinism and
+resume guarantees.
+"""
+
+from .checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    PointRecord,
+    ShardWriter,
+    estimate_from_doc,
+    estimate_to_doc,
+    load_summary,
+)
+from .merge import (
+    Conservation,
+    ConservationError,
+    merge_outcomes,
+    merge_pareto_fronts,
+)
+from .pool import (
+    RunOutcome,
+    ShardOutcome,
+    fork_available,
+    run_plan,
+    run_shard,
+)
+from .sharding import Shard, ShardPlan, plan_shards, shard_seed
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "Conservation",
+    "ConservationError",
+    "PointRecord",
+    "RunOutcome",
+    "Shard",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardWriter",
+    "estimate_from_doc",
+    "estimate_to_doc",
+    "fork_available",
+    "load_summary",
+    "merge_outcomes",
+    "merge_pareto_fronts",
+    "plan_shards",
+    "run_plan",
+    "run_shard",
+    "shard_seed",
+]

@@ -1,0 +1,355 @@
+"""Worker pool: run a shard plan serially or across forked processes.
+
+The estimation work DSE distributes is embarrassingly parallel — after
+the estimator is characterized and trained there is no shared mutable
+state per point — so the pool's job is mostly plumbing:
+
+* ``workers=1`` runs every shard in-process, preserving the serial
+  explorer's per-point observability exactly (latency histogram, outcome
+  counters, periodic ``dse.progress`` instants);
+* ``workers>1`` uses a ``ProcessPoolExecutor`` on the ``fork`` start
+  method, created *after* the estimator exists, so every worker inherits
+  the characterized/trained models through copy-on-write memory and pays
+  no per-worker cold start. Workers return per-point latencies which the
+  parent replays into the same :mod:`repro.obs` instruments, and each
+  completed shard emits a ``dse.shard.done`` heartbeat instant.
+
+Platforms without ``fork`` (Windows, macOS spawn default) fall back to
+the serial path rather than re-training one estimator per worker; the
+engine reports the effective worker count so callers can see that.
+
+Checkpointing is per shard: workers append to their own JSONL file
+(:mod:`repro.runtime.checkpoint`), so there is no cross-process file
+contention, and a resumed run only estimates indices missing from the
+files.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from .. import obs
+from ..ir.node import IRError
+from .checkpoint import CheckpointStore, PointRecord, ShardState
+from .sharding import Shard, ShardPlan
+
+
+@dataclass
+class ShardOutcome:
+    """The result of running one shard: fresh records plus bookkeeping."""
+
+    shard: int
+    planned: int
+    records: List[PointRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    estimated: int = 0
+    restored: int = 0
+
+
+@dataclass
+class RunOutcome:
+    """Everything the engine produced for one plan."""
+
+    outcomes: List[ShardOutcome] = field(default_factory=list)
+    workers: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def estimated(self) -> int:
+        """Points estimated live (not restored) across all shards."""
+        return sum(o.estimated for o in self.outcomes)
+
+    @property
+    def restored(self) -> int:
+        """Points restored from checkpoints across all shards."""
+        return sum(o.restored for o in self.outcomes)
+
+
+def run_shard(
+    benchmark,
+    estimator,
+    dataset,
+    shard: Shard,
+    writer=None,
+    skip: Optional[Set[int]] = None,
+    on_point: Optional[Callable[[PointRecord], None]] = None,
+) -> ShardOutcome:
+    """Estimate every point of ``shard`` not in ``skip``.
+
+    Runs in the parent (serial path) or inside a forked worker (parallel
+    path). ``writer`` receives each fresh record for checkpointing;
+    ``on_point`` is the serial path's per-point observability hook.
+    """
+    skip = skip or set()
+    outcome = ShardOutcome(shard=shard.index, planned=len(shard))
+    start = time.perf_counter()
+    for offset, params in enumerate(shard.points):
+        index = shard.start + offset
+        if index in skip:
+            continue
+        t0 = time.perf_counter()
+        try:
+            design = benchmark.build(dataset, **params)
+        except IRError:
+            record = PointRecord(index, dict(params), None,
+                                 time.perf_counter() - t0)
+        else:
+            estimate = estimator.estimate(design)
+            record = PointRecord(index, dict(params), estimate,
+                                 time.perf_counter() - t0)
+        outcome.records.append(record)
+        outcome.estimated += 1
+        if writer is not None:
+            writer.write(record)
+        if on_point is not None:
+            on_point(record)
+    if writer is not None:
+        writer.done(shard)
+    outcome.elapsed_s = time.perf_counter() - start
+    return outcome
+
+
+# -- forked-worker plumbing -------------------------------------------------
+
+# Snapshot inherited by workers at fork time. Set immediately before the
+# executor is created and cleared right after submission; only worker
+# processes read it.
+_FORK_STATE: Optional[Dict[str, object]] = None
+
+
+def _worker_init() -> None:
+    """Forked-worker initializer: silence the inherited obs collectors.
+
+    Workers measure per-point latency with raw ``perf_counter`` calls and
+    ship it back in their records; recording spans/metrics into the
+    child's copy of the global collectors would be invisible waste.
+    """
+    obs.disable()
+
+
+def _worker_run_shard(index: int) -> ShardOutcome:
+    """Run one shard inside a forked worker (reads the fork snapshot)."""
+    state = _FORK_STATE
+    assert state is not None, "worker started without fork state"
+    shard: Shard = state["shards"][index]  # type: ignore[index]
+    store: Optional[CheckpointStore] = state["store"]  # type: ignore[assignment]
+    skip: Set[int] = state["skip"].get(index, set())  # type: ignore[union-attr]
+    writer = None
+    if store is not None:
+        writer = store.writer(shard, append=bool(skip))
+    try:
+        return run_shard(
+            state["benchmark"], state["estimator"], state["dataset"],
+            shard, writer=writer, skip=skip,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork workers that inherit the estimator."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class _Heartbeat:
+    """Per-point/per-shard progress flowing into :mod:`repro.obs`."""
+
+    def __init__(self, total_points: int, total_shards: int,
+                 bench: str, progress_every: int) -> None:
+        self._latency = obs.histogram("dse.point_latency_s")
+        self._illegal = obs.counter("dse.points.illegal")
+        self._unfit = obs.counter("dse.points.unfit")
+        self._valid = obs.counter("dse.points.valid")
+        self._restored = obs.counter("dse.points.restored")
+        self._total = total_points
+        self._total_shards = total_shards
+        self._bench = bench
+        self._every = progress_every
+        self._done = 0
+        self._shards_done = 0
+        self._start = time.perf_counter()
+
+    def point(self, record: PointRecord, quiet: bool = False) -> None:
+        """Record one point's outcome (and maybe a progress instant)."""
+        if record.restored:
+            self._restored.inc()
+        else:
+            if record.illegal:
+                self._illegal.inc()
+            else:
+                self._latency.observe(record.latency_s)
+                (self._valid if record.estimate.fits()
+                 else self._unfit).inc()
+        self._done += 1
+        if quiet or not self._every or self._done % self._every:
+            return
+        self._instant()
+
+    def shard(self, outcome: ShardOutcome) -> None:
+        """Record a completed shard's heartbeat instant."""
+        self._shards_done += 1
+        obs.gauge("dse.shards.completed").set(self._shards_done)
+        rate = (outcome.estimated / outcome.elapsed_s
+                if outcome.elapsed_s > 0 else 0.0)
+        obs.instant(
+            "dse.shard.done",
+            bench=self._bench,
+            shard=outcome.shard,
+            points=outcome.planned,
+            estimated=outcome.estimated,
+            restored=outcome.restored,
+            points_per_sec=round(rate, 1),
+            completed_shards=self._shards_done,
+            total_shards=self._total_shards,
+        )
+
+    def _instant(self) -> None:
+        elapsed = time.perf_counter() - self._start
+        rate = self._done / elapsed if elapsed > 0 else 0.0
+        obs.gauge("dse.points_per_sec").set(rate)
+        obs.instant(
+            "dse.progress",
+            bench=self._bench,
+            points=self._done,
+            total=self._total,
+            points_per_sec=round(rate, 1),
+        )
+
+
+def run_plan(
+    benchmark,
+    estimator,
+    dataset,
+    plan: ShardPlan,
+    workers: int = 1,
+    store: Optional[CheckpointStore] = None,
+    resume: bool = False,
+    progress_every: int = 1000,
+) -> RunOutcome:
+    """Execute ``plan``: estimate every non-restored point, in order.
+
+    Returns one :class:`ShardOutcome` per shard (in shard order) whose
+    records include both fresh and checkpoint-restored points, sorted by
+    global index — the merge layer's input.
+    """
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ValueError(f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+
+    states: Dict[int, ShardState] = {}
+    if store is not None:
+        states = store.begin(benchmark.name, dataset, plan, resume=resume)
+        store.hydrate(states, estimator.board)
+    skip: Dict[int, Set[int]] = {
+        index: set(state.records) for index, state in states.items()
+        if state.records
+    }
+
+    heartbeat = _Heartbeat(
+        plan.total_points, plan.n_shards, benchmark.name, progress_every
+    )
+    effective_workers = workers
+    if workers > 1 and not fork_available():  # pragma: no cover - platform
+        effective_workers = 1
+
+    start = time.perf_counter()
+    run = RunOutcome(workers=effective_workers)
+    pending: List[Shard] = []
+    outcomes: Dict[int, ShardOutcome] = {}
+    for shard in plan.shards:
+        state = states.get(shard.index, ShardState())
+        if state.complete:
+            outcomes[shard.index] = ShardOutcome(
+                shard=shard.index, planned=len(shard),
+                restored=len(state.records),
+            )
+        else:
+            pending.append(shard)
+
+    if effective_workers == 1:
+        for shard in pending:
+            outcomes[shard.index] = _run_shard_inline(
+                benchmark, estimator, dataset, shard, store,
+                skip.get(shard.index, set()), heartbeat,
+            )
+    elif pending:
+        _run_shards_forked(
+            benchmark, estimator, dataset, plan, pending, store, skip,
+            effective_workers, heartbeat, outcomes,
+        )
+
+    # Fold restored records back in and finish per-shard bookkeeping.
+    for shard in plan.shards:
+        outcome = outcomes[shard.index]
+        restored = states.get(shard.index, ShardState()).records
+        if restored:
+            outcome.records.extend(restored.values())
+            outcome.restored = len(restored)
+            for record in restored.values():
+                heartbeat.point(record, quiet=True)
+        outcome.records.sort(key=lambda r: r.index)
+        run.outcomes.append(outcome)
+    run.elapsed_s = time.perf_counter() - start
+    return run
+
+
+def _run_shard_inline(
+    benchmark, estimator, dataset, shard, store, skip, heartbeat
+) -> ShardOutcome:
+    """Serial path: run one shard in-process with live per-point obs."""
+    writer = store.writer(shard, append=bool(skip)) if store else None
+    try:
+        outcome = run_shard(
+            benchmark, estimator, dataset, shard,
+            writer=writer, skip=skip, on_point=heartbeat.point,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+    heartbeat.shard(outcome)
+    return outcome
+
+
+def _run_shards_forked(
+    benchmark, estimator, dataset, plan, pending, store, skip,
+    workers, heartbeat, outcomes,
+) -> None:
+    """Parallel path: fork workers after training, replay obs in parent."""
+    global _FORK_STATE
+    ctx = multiprocessing.get_context("fork")
+    shards_by_index = {shard.index: shard for shard in plan.shards}
+    _FORK_STATE = {
+        "benchmark": benchmark,
+        "estimator": estimator,
+        "dataset": dataset,
+        "shards": shards_by_index,
+        "store": store,
+        "skip": skip,
+    }
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(pending)),
+            mp_context=ctx,
+            initializer=_worker_init,
+        ) as pool:
+            futures = {
+                pool.submit(_worker_run_shard, shard.index): shard
+                for shard in pending
+            }
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                for future in done:
+                    outcome = future.result()
+                    outcomes[outcome.shard] = outcome
+                    for record in outcome.records:
+                        heartbeat.point(record, quiet=True)
+                    heartbeat.shard(outcome)
+    finally:
+        _FORK_STATE = None

@@ -1,0 +1,138 @@
+"""Deterministic partitioning of a seeded search space into shards.
+
+The engine's determinism guarantee starts here: a :class:`ShardPlan` is
+built by drawing the *exact same* seeded sample the serial explorer draws
+(:meth:`repro.params.ParamSpace.sample` with ``random.Random(seed)``) and
+then splitting that list into N contiguous, disjoint shards. Because the
+sample is taken once, centrally, before any partitioning, the union of
+the shards is byte-identical to the serial enumeration for every shard
+count — sampling is the cheap part of DSE (RNG draws plus legality
+checks); the expensive build/estimate work is what the shards distribute.
+
+Every shard also carries its own derived RNG stream
+(:func:`shard_seed`), decorrelated from the master seed and from sibling
+shards, for any stochastic work a shard-local policy may need (e.g. a
+guided-search extension). The point *enumeration* never consumes these
+streams, so using them cannot perturb reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..params import ParamSpace
+
+Point = Dict[str, object]
+
+_MASK64 = (1 << 64) - 1
+
+
+def shard_seed(seed: int, index: int) -> int:
+    """Derive a decorrelated 64-bit RNG seed for shard ``index``.
+
+    A splitmix64-style finalizer over (seed, index), so adjacent shard
+    indices (and adjacent master seeds) produce unrelated streams.
+    """
+    x = (seed * 0x9E3779B97F4A7C15 + (index + 1) * 0xBF58476D1CE4E5B9) & _MASK64
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & _MASK64
+    x ^= x >> 29
+    return x
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous slice of the sampled point list.
+
+    ``start`` is the global index of the shard's first point; global
+    indices (``start + offset``) identify points across checkpointing,
+    merging, and conservation checks.
+    """
+
+    index: int
+    start: int
+    points: Sequence[Point]
+    seed: int
+
+    @property
+    def stop(self) -> int:
+        """Global index one past the shard's last point."""
+        return self.start + len(self.points)
+
+    @property
+    def indices(self) -> range:
+        """Global indices covered by this shard."""
+        return range(self.start, self.stop)
+
+    def rng(self) -> random.Random:
+        """A fresh per-shard RNG stream (never used for enumeration)."""
+        return random.Random(self.seed)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+
+@dataclass
+class ShardPlan:
+    """A full, partitioned enumeration of one benchmark's sampled space."""
+
+    seed: int
+    max_points: int
+    shards: List[Shard] = field(default_factory=list)
+    space_cardinality: int = 0
+
+    @property
+    def total_points(self) -> int:
+        """Number of sampled points across all shards."""
+        return sum(len(s) for s in self.shards)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards in the plan."""
+        return len(self.shards)
+
+    def sampled_points(self) -> List[Point]:
+        """The full sampled list in global-index order (serial order)."""
+        out: List[Point] = []
+        for shard in self.shards:
+            out.extend(shard.points)
+        return out
+
+
+def plan_shards(
+    space: ParamSpace, seed: int, max_points: int, shards: int = 1
+) -> ShardPlan:
+    """Sample ``space`` exactly as the serial explorer would, then split.
+
+    Raises :class:`ValueError` for a non-positive shard count. The
+    partition is contiguous and balanced: the first ``total % shards``
+    shards get one extra point. A plan may contain fewer (non-empty)
+    shards than requested when the sample is small.
+    """
+    if not isinstance(shards, int) or isinstance(shards, bool):
+        raise ValueError(f"shards must be a positive integer, got {shards!r}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    rng = random.Random(seed)
+    sampled = space.sample(rng, max_points)
+    plan = ShardPlan(
+        seed=seed, max_points=max_points, space_cardinality=space.cardinality
+    )
+    base, extra = divmod(len(sampled), shards)
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            break  # fewer points than shards: drop empty trailing shards
+        plan.shards.append(
+            Shard(
+                index=index,
+                start=start,
+                points=tuple(sampled[start:start + size]),
+                seed=shard_seed(seed, index),
+            )
+        )
+        start += size
+    return plan

@@ -1,0 +1,114 @@
+"""Streaming JSONL trace sink and bounded span retention."""
+
+import io
+import json
+
+from repro.obs.sinks import JsonlStreamWriter
+from repro.obs.trace import Tracer
+
+
+def read_lines(buf):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestJsonlStreamWriter:
+    def test_streams_spans_as_they_finish(self):
+        buf = io.StringIO()
+        tracer = Tracer(enabled=True)
+        tracer.attach_stream(JsonlStreamWriter(buf, flush_every=1))
+        with tracer.span("outer"):
+            with tracer.span("inner", k=1):
+                pass
+        docs = read_lines(buf)
+        assert [d["name"] for d in docs] == ["inner", "outer"]
+        assert docs[0]["attrs"] == {"k": 1}
+        assert docs[0]["parent"] == docs[1]["id"]
+
+    def test_streams_instants(self):
+        buf = io.StringIO()
+        tracer = Tracer(enabled=True)
+        tracer.attach_stream(JsonlStreamWriter(buf, flush_every=1))
+        tracer.instant("tick", n=3)
+        (doc,) = read_lines(buf)
+        assert doc["type"] == "instant" and doc["attrs"] == {"n": 3}
+
+    def test_writer_counts_and_close(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = Tracer(enabled=True)
+        writer = JsonlStreamWriter(path)
+        tracer.attach_stream(writer)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        writer.close()
+        assert writer.written == 5
+        assert len(path.read_text().splitlines()) == 5
+
+    def test_detach_returns_stream(self):
+        tracer = Tracer(enabled=True)
+        writer = JsonlStreamWriter(io.StringIO(), flush_every=1)
+        tracer.attach_stream(writer)
+        assert tracer.detach_stream() is writer
+        with tracer.span("after"):
+            pass
+        assert writer.written == 0
+
+
+class TestSpanCap:
+    def test_cap_bounds_memory_not_stream(self):
+        buf = io.StringIO()
+        tracer = Tracer(enabled=True, span_cap=3)
+        tracer.attach_stream(JsonlStreamWriter(buf, flush_every=1))
+        for _ in range(10):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 3
+        assert tracer.dropped_spans == 7
+        assert len(read_lines(buf)) == 10  # stream stays complete
+
+    def test_cap_applies_to_instants(self):
+        tracer = Tracer(enabled=True, span_cap=2)
+        for i in range(5):
+            tracer.instant("tick", i=i)
+        assert len(tracer.instants) == 2
+        assert tracer.dropped_instants == 3
+
+    def test_reset_clears_drop_counts(self):
+        tracer = Tracer(enabled=True, span_cap=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        tracer.reset()
+        assert tracer.dropped_spans == 0
+        assert tracer.spans == []
+
+    def test_zero_cap_keeps_nothing(self):
+        tracer = Tracer(enabled=True, span_cap=0)
+        with tracer.span("s"):
+            pass
+        assert tracer.spans == []
+        assert tracer.dropped_spans == 1
+
+
+class TestObsHelpers:
+    def test_stream_to_jsonl_round_trip(self, tmp_path):
+        from repro import obs
+
+        path = tmp_path / "stream.jsonl"
+        obs.reset()
+        obs.enable(trace=True)
+        writer = obs.stream_to_jsonl(path, span_cap=2)
+        try:
+            for _ in range(4):
+                with obs.span("work"):
+                    pass
+        finally:
+            obs.stop_streaming()
+            obs.disable()
+        assert writer.written == 4
+        assert len(obs.tracer().spans) == 2
+        assert obs.tracer().dropped_spans == 2
+        docs = [json.loads(l) for l in path.read_text().splitlines()]
+        assert all(d["name"] == "work" for d in docs)
+        obs.tracer().span_cap = None
+        obs.reset()

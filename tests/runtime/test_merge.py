@@ -1,0 +1,90 @@
+"""Merge layer: conservation accounting and Pareto-front merging."""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.dse import explore
+from repro.dse.pareto import pareto_front
+from repro.runtime import (
+    Conservation,
+    ConservationError,
+    merge_outcomes,
+    merge_pareto_fronts,
+    plan_shards,
+    run_plan,
+)
+
+
+@pytest.fixture(scope="module")
+def executed(estimator):
+    bench = get_benchmark("tpchq6")
+    dataset = bench.default_dataset()
+    space = bench.param_space(dataset)
+    plan = plan_shards(space, 5, 40, 4)
+    run = run_plan(bench, estimator, dataset, plan)
+    return plan, run
+
+
+class TestConservation:
+    def test_clean_run_balances(self, executed):
+        plan, run = executed
+        records, stats = merge_outcomes(plan, run.outcomes)
+        stats.verify()
+        assert stats.planned == plan.total_points
+        assert stats.merged == len(records)
+        assert stats.estimated == plan.total_points
+        assert stats.restored == 0
+        assert stats.illegal + stats.valid + stats.unfit == stats.planned
+
+    def test_records_in_global_order(self, executed):
+        plan, run = executed
+        records, _ = merge_outcomes(plan, run.outcomes)
+        assert [r.index for r in records] == list(range(plan.total_points))
+
+    def test_dropped_shard_detected(self, executed):
+        plan, run = executed
+        _, stats = merge_outcomes(plan, run.outcomes[:-1])
+        assert stats.missing_indices > 0
+        with pytest.raises(ConservationError, match="missing"):
+            stats.verify()
+
+    def test_duplicated_shard_detected(self, executed):
+        plan, run = executed
+        _, stats = merge_outcomes(plan, run.outcomes + [run.outcomes[0]])
+        assert stats.duplicate_indices > 0
+        with pytest.raises(ConservationError, match="duplicated"):
+            stats.verify()
+
+    def test_as_dict_roundtrip(self):
+        stats = Conservation(planned=3, merged=3, estimated=2, restored=1,
+                             illegal=1, valid=1, unfit=1)
+        stats.verify()
+        doc = stats.as_dict()
+        assert doc["planned"] == 3 and doc["restored"] == 1
+
+
+class TestParetoMerge:
+    def test_merged_front_equals_recomputed(self, estimator, executed):
+        plan, run = executed
+        records, _ = merge_outcomes(plan, run.outcomes)
+        key = lambda r: (r.estimate.cycles, float(r.estimate.alms))
+        fitting = [r for r in records
+                   if not r.illegal and r.estimate.fits()]
+        reference = pareto_front(fitting, key=key)
+        per_shard = []
+        for outcome in run.outcomes:
+            shard_fitting = [r for r in sorted(outcome.records,
+                                               key=lambda r: r.index)
+                             if not r.illegal and r.estimate.fits()]
+            per_shard.append(pareto_front(shard_fitting, key=key))
+        merged = merge_pareto_fronts(per_shard, key=key)
+        assert [(r.index, key(r)) for r in merged] == [
+            (r.index, key(r)) for r in reference
+        ]
+
+    def test_matches_explore_front(self, estimator):
+        bench = get_benchmark("tpchq6")
+        result = explore(bench, estimator, max_points=40, seed=5, shards=4)
+        key = lambda p: (p.cycles, float(p.alms))
+        front = pareto_front(result.valid_points, key=key)
+        assert [key(p) for p in result.pareto] == [key(p) for p in front]

@@ -1,0 +1,74 @@
+"""Shard planning: disjoint cover, serial-identical enumeration."""
+
+import random
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.runtime import plan_shards, shard_seed
+
+
+@pytest.fixture(scope="module")
+def space():
+    bench = get_benchmark("tpchq6")
+    return bench.param_space(bench.default_dataset())
+
+
+def serial_sample(space, seed, max_points):
+    return space.sample(random.Random(seed), max_points)
+
+
+class TestPlanShards:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_union_identical_to_serial(self, space, shards):
+        reference = serial_sample(space, 5, 60)
+        plan = plan_shards(space, 5, 60, shards)
+        assert plan.sampled_points() == reference
+
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_disjoint_contiguous_cover(self, space, shards):
+        plan = plan_shards(space, 5, 60, shards)
+        covered = []
+        for shard in plan.shards:
+            covered.extend(shard.indices)
+        assert covered == list(range(plan.total_points))
+
+    def test_balanced_partition(self, space):
+        plan = plan_shards(space, 5, 60, 7)
+        sizes = [len(s) for s in plan.shards]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == plan.total_points
+
+    def test_more_shards_than_points(self, space):
+        plan = plan_shards(space, 5, 3, 10)
+        assert plan.n_shards <= 3
+        assert plan.total_points == len(serial_sample(space, 5, 3))
+
+    def test_rejects_bad_shard_counts(self, space):
+        for bad in (0, -1, -7):
+            with pytest.raises(ValueError, match="shards must be"):
+                plan_shards(space, 5, 60, bad)
+        with pytest.raises(ValueError, match="shards must be"):
+            plan_shards(space, 5, 60, True)
+
+    def test_cardinality_recorded(self, space):
+        plan = plan_shards(space, 5, 60, 2)
+        assert plan.space_cardinality == space.cardinality
+
+
+class TestShardSeeds:
+    def test_streams_decorrelated(self):
+        seeds = {shard_seed(1, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert shard_seed(1, 0) != shard_seed(2, 0)
+
+    def test_per_shard_rng_reproducible(self, space):
+        a = plan_shards(space, 5, 60, 4)
+        b = plan_shards(space, 5, 60, 4)
+        for sa, sb in zip(a.shards, b.shards):
+            assert sa.rng().random() == sb.rng().random()
+
+    def test_sibling_rngs_differ(self, space):
+        plan = plan_shards(space, 5, 60, 4)
+        draws = [s.rng().random() for s in plan.shards]
+        assert len(set(draws)) == len(draws)

@@ -211,3 +211,99 @@ class TestObservabilityFlags:
         run_cli(estimator, "estimate", "tpchq6")
         assert obs.tracer().spans == []
         assert not obs.metrics()
+
+
+class TestParallelExploreFlags:
+    def test_workers_zero_is_friendly(self, estimator):
+        with pytest.raises(SystemExit, match="--workers expects a positive"):
+            run_cli(estimator, "explore", "tpchq6", "--workers", "0")
+
+    def test_negative_workers_is_friendly(self, estimator):
+        with pytest.raises(SystemExit, match="--workers expects a positive"):
+            run_cli(estimator, "explore", "tpchq6", "--workers", "-3")
+
+    def test_negative_shards_is_friendly(self, estimator):
+        with pytest.raises(SystemExit, match="--shards expects a positive"):
+            run_cli(estimator, "explore", "tpchq6", "--shards", "-1")
+
+    def test_report_workers_validated(self, estimator):
+        with pytest.raises(SystemExit, match="--workers expects a positive"):
+            run_cli(estimator, "report", "--workers", "0")
+
+    def test_conflicting_resume_and_checkpoint_dir(self, estimator, tmp_path):
+        with pytest.raises(SystemExit, match="drop --checkpoint-dir"):
+            run_cli(
+                estimator, "explore", "tpchq6",
+                "--checkpoint-dir", str(tmp_path / "a"),
+                "--resume", str(tmp_path / "b"),
+            )
+
+    def test_resume_without_checkpoint_is_friendly(self, estimator, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint manifest"):
+            run_cli(
+                estimator, "explore", "tpchq6", "--points", "10",
+                "--resume", str(tmp_path / "missing"),
+            )
+
+    def test_sharded_explore_matches_serial(self, estimator):
+        _, serial = run_cli(
+            estimator, "explore", "tpchq6", "--points", "30", "--seed", "2"
+        )
+        code, sharded = run_cli(
+            estimator, "explore", "tpchq6", "--points", "30", "--seed", "2",
+            "--shards", "3",
+        )
+        assert code == 0
+        assert "3 shards x 1 workers" in sharded
+        # Same Pareto table, modulo the engine's summary suffix.
+        assert serial.splitlines()[1:] == sharded.splitlines()[1:]
+
+    def test_checkpoint_resume_round_trip(self, estimator, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        code, _ = run_cli(
+            estimator, "explore", "tpchq6", "--points", "20",
+            "--shards", "2", "--checkpoint-dir", str(ckpt),
+        )
+        assert code == 0
+        assert (ckpt / "manifest.json").exists()
+        code, text = run_cli(
+            estimator, "explore", "tpchq6", "--points", "20",
+            "--shards", "2", "--resume", str(ckpt),
+        )
+        assert code == 0
+        assert "20 restored from checkpoint" in text
+
+
+class TestStreamingTraceFlag:
+    def test_trace_jsonl_streams_spans(self, estimator, tmp_path):
+        stream = tmp_path / "trace.jsonl"
+        code, text = run_cli(
+            estimator, "explore", "tpchq6", "--points", "10",
+            "--trace-jsonl", str(stream),
+        )
+        assert code == 0
+        assert "streamed" in text and str(stream) in text
+        docs = [json.loads(l) for l in stream.read_text().splitlines()]
+        assert any(d["name"] == "explore" for d in docs)
+        assert any(d["name"] == "estimate" for d in docs)
+
+    def test_span_cap_bounds_memory(self, estimator, tmp_path):
+        stream = tmp_path / "trace.jsonl"
+        code, _ = run_cli(
+            estimator, "explore", "tpchq6", "--points", "10",
+            "--trace-jsonl", str(stream), "--span-cap", "5",
+        )
+        assert code == 0
+        assert len(obs.tracer().spans) <= 5
+        docs = [json.loads(l) for l in stream.read_text().splitlines()]
+        assert len(docs) > 5  # the file still has everything
+        obs.tracer().span_cap = None
+        obs.reset()
+
+    def test_negative_span_cap_is_friendly(self, estimator, tmp_path):
+        with pytest.raises(SystemExit, match="--span-cap expects"):
+            run_cli(
+                estimator, "estimate", "tpchq6",
+                "--trace-jsonl", str(tmp_path / "t.jsonl"),
+                "--span-cap", "-1",
+            )
