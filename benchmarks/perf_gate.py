@@ -1,0 +1,182 @@
+"""CI perf gate for the memoized + batched estimation hot path.
+
+Re-measures the cached-vs-``--no-cache`` speedup on the benchmarks
+recorded in ``BENCH_table4.json``'s ``estimation_cache`` section and
+exits non-zero if any fresh speedup falls more than
+``REGRESSION_TOLERANCE`` (30%) below the committed ratio.
+
+The gate compares *ratios*, never absolute points/sec: both the
+committed number and the fresh one divide a cached sweep by an uncached
+sweep on the same host, so slow CI runners cancel out and only genuine
+hot-path regressions (a cache stops hitting, batching degrades to
+per-point work) trip the gate.
+
+Set ``REPRO_SKIP_PERF_GATE=1`` to skip the gate entirely, e.g. on
+heavily loaded or single-core runners where even ratios get noisy.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REGRESSION_TOLERANCE = 0.30
+SKIP_ENV = "REPRO_SKIP_PERF_GATE"
+N_GATE_POINTS = 80
+SAMPLE_SEED = 17
+REPEATS = 3  # best-of-N wall times; noise only ever slows a run down
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_table4.json"
+
+
+def evaluate(
+    baseline: Dict[str, float],
+    measured: Dict[str, float],
+    tolerance: float = REGRESSION_TOLERANCE,
+) -> Tuple[bool, List[str]]:
+    """Gate fresh speedup ratios against committed ones.
+
+    Pure logic (no measurement, no I/O) so tests can drive it directly:
+    a benchmark passes when its fresh speedup is at least
+    ``(1 - tolerance)`` of the committed speedup.  A benchmark present
+    in the baseline but missing from ``measured`` fails the gate.
+    Returns ``(ok, report_lines)``.
+    """
+    ok = True
+    lines = []
+    for name in sorted(baseline):
+        committed = float(baseline[name])
+        floor = committed * (1.0 - tolerance)
+        fresh = measured.get(name)
+        if fresh is None:
+            ok = False
+            lines.append(f"{name}: no fresh measurement -> FAIL")
+            continue
+        passed = fresh >= floor
+        ok = ok and passed
+        lines.append(
+            f"{name}: committed {committed:.2f}x, fresh {fresh:.2f}x, "
+            f"floor {floor:.2f}x -> {'ok' if passed else 'REGRESSION'}"
+        )
+    return ok, lines
+
+
+def _gate_designs(bench_name: str, count: int):
+    """Pre-built legal designs for one benchmark's default dataset."""
+    from repro.apps import get_benchmark
+    from repro.ir import IRError
+
+    bench = get_benchmark(bench_name)
+    ds = bench.default_dataset()
+    points = bench.param_space(ds).sample(random.Random(SAMPLE_SEED), count)
+    designs = []
+    for params in points:
+        try:
+            designs.append(bench.build(ds, **params))
+        except IRError:
+            continue
+    return designs
+
+
+def measure_speedups(
+    bench_names, n_points: int = N_GATE_POINTS
+) -> Dict[str, float]:
+    """Fresh cached-vs-uncached speedup per benchmark.
+
+    Mirrors the ``estimation_cache`` section of the Table IV benchmark:
+    identical pre-built designs through the ``--no-cache`` per-point
+    path and through ``estimate_many`` on an estimator with empty
+    caches, with bit-identity of every estimate asserted.
+    """
+    from repro.estimation import Estimator, default_estimator
+    from repro.runtime import DEFAULT_BATCH_SIZE
+
+    warm_models = default_estimator()
+    cold = Estimator(
+        warm_models.board, templates=warm_models.templates,
+        corrections=warm_models.corrections, cache=False,
+    )
+    speedups: Dict[str, float] = {}
+    for name in bench_names:
+        designs = _gate_designs(name, n_points)
+        if len(designs) < 2:
+            continue
+        uncached_s = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            cold_estimates = [cold.estimate(d) for d in designs]
+            uncached_s = min(uncached_s, time.perf_counter() - start)
+
+        cached_s = float("inf")
+        for _ in range(REPEATS):
+            cached = Estimator(
+                warm_models.board, templates=warm_models.templates,
+                corrections=warm_models.corrections,
+            )
+            start = time.perf_counter()
+            cached_estimates = []
+            for lo in range(0, len(designs), DEFAULT_BATCH_SIZE):
+                cached_estimates.extend(
+                    cached.estimate_many(designs[lo:lo + DEFAULT_BATCH_SIZE])
+                )
+            cached_s = min(cached_s, time.perf_counter() - start)
+
+        if [pickle.dumps(e) for e in cold_estimates] != [
+            pickle.dumps(e) for e in cached_estimates
+        ]:
+            raise AssertionError(
+                f"{name}: cached estimates diverged from --no-cache"
+            )
+        speedups[name] = uncached_s / cached_s
+    return speedups
+
+
+def load_baseline(path: Path = BENCH_JSON) -> Dict[str, float]:
+    """Committed speedup ratios from BENCH_table4.json, or {} if absent."""
+    if not path.exists():
+        return {}
+    doc = json.loads(path.read_text())
+    section = doc.get("estimation_cache", {})
+    return {
+        name: float(row["speedup"])
+        for name, row in section.get("benchmarks", {}).items()
+    }
+
+
+def main(argv=None) -> int:
+    """Entry point: 0 on pass/skip, 1 on regression."""
+    if os.environ.get(SKIP_ENV):
+        print(f"perf gate skipped ({SKIP_ENV} set)")
+        return 0
+    baseline = load_baseline()
+    if not baseline:
+        print(
+            "perf gate: no estimation_cache baseline in "
+            f"{BENCH_JSON.name}; run the Table IV benchmark to record one"
+        )
+        return 0
+    measured = measure_speedups(sorted(baseline))
+    ok, lines = evaluate(baseline, measured)
+    print(
+        "estimation hot-path perf gate "
+        f"(tolerance {REGRESSION_TOLERANCE:.0%} of committed speedup):"
+    )
+    for line in lines:
+        print(f"  {line}")
+    if not ok:
+        print(f"perf gate FAILED; set {SKIP_ENV}=1 to bypass")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

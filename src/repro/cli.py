@@ -18,7 +18,10 @@ Subcommands mirror the paper's flow:
 (write a Chrome trace-event file — open in chrome://tracing or Perfetto),
 ``--trace-jsonl FILE`` (stream spans incrementally with bounded memory,
 optionally capped via ``--span-cap N``), and ``--metrics`` (print
-counter/histogram summaries); see ``docs/observability.md``.
+counter/histogram summaries); see ``docs/observability.md``. The
+estimating commands also accept ``--no-cache`` to disable the estimation
+memoization/batching layer (bit-identical results; see
+``docs/estimation_performance.md``).
 
 Invoke as ``python -m repro ...``.
 """
@@ -64,6 +67,19 @@ def _parse_overrides(pairs: List[str]) -> Dict[str, object]:
     return out
 
 
+def _estimator_for(args, estimator: Optional[Estimator]) -> Estimator:
+    """The injected estimator, or the shared default honoring ``--no-cache``.
+
+    ``--no-cache`` shares the same trained models (no recharacterization)
+    but disables the estimation memoization layer — the escape hatch that
+    demonstrates cached results are bit-identical (see
+    ``docs/estimation_performance.md``).
+    """
+    if estimator is not None:
+        return estimator
+    return default_estimator(cache=not getattr(args, "no_cache", False))
+
+
 def _resolve_params(bench, overrides: Dict[str, object]) -> Dict[str, object]:
     dataset = bench.default_dataset()
     params = bench.default_params(dataset)
@@ -105,7 +121,7 @@ def cmd_estimate(args, out, estimator: Optional[Estimator] = None) -> int:
     bench = get_benchmark(args.benchmark)
     params = _resolve_params(bench, _parse_overrides(args.set or []))
     design = bench.build(bench.default_dataset(), **params)
-    estimator = estimator or default_estimator()
+    estimator = _estimator_for(args, estimator)
     est = estimator.estimate(design)
     util = est.utilization()
     print(f"design point: {params}", file=out)
@@ -146,7 +162,7 @@ def cmd_explore(args, out, estimator: Optional[Estimator] = None) -> int:
     """``repro explore``: sample the design space and print the Pareto front."""
     checkpoint_dir, resume = _parse_parallel_args(args)
     bench = get_benchmark(args.benchmark)
-    estimator = estimator or default_estimator()
+    estimator = _estimator_for(args, estimator)
     try:
         result = explore(
             bench, estimator, max_points=args.points, seed=args.seed,
@@ -194,7 +210,7 @@ def cmd_explore(args, out, estimator: Optional[Estimator] = None) -> int:
 def cmd_speedup(args, out, estimator: Optional[Estimator] = None) -> int:
     """``repro speedup``: best design vs the modeled CPU baseline."""
     bench = get_benchmark(args.benchmark)
-    estimator = estimator or default_estimator()
+    estimator = _estimator_for(args, estimator)
     result = explore(bench, estimator, max_points=args.points, seed=args.seed)
     best = result.best
     if best is None:
@@ -231,7 +247,7 @@ def cmd_power(args, out, estimator: Optional[Estimator] = None) -> int:
     bench = get_benchmark(args.benchmark)
     params = _resolve_params(bench, _parse_overrides(args.set or []))
     design = bench.build(bench.default_dataset(), **params)
-    estimator = estimator or default_estimator()
+    estimator = _estimator_for(args, estimator)
     area = estimator.estimate_area(design)
     cycles = estimator.estimate_cycles(design)
     power = estimate_power(design, area, cycles, estimator.board)
@@ -254,7 +270,7 @@ def cmd_analyze(args, out, estimator: Optional[Estimator] = None) -> int:
     params = _resolve_params(bench, _parse_overrides(args.set or []))
     dataset = bench.default_dataset()
     design = bench.build(dataset, **params)
-    estimator = estimator or default_estimator()
+    estimator = _estimator_for(args, estimator)
     diag = diagnose(design, estimator)
     print(diag.summary(), file=out)
     flops = bench.flops(dataset)
@@ -281,7 +297,7 @@ def cmd_report(args, out, estimator: Optional[Estimator] = None) -> int:
             f"--workers expects a positive integer (got {args.workers}); "
             "use --workers 1 for the serial path"
         )
-    estimator = estimator or default_estimator()
+    estimator = _estimator_for(args, estimator)
     text = build_report(estimator, dse_points=args.points,
                         workers=args.workers)
     if args.output:
@@ -324,19 +340,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print counter/histogram summaries after the command",
     )
 
+    # Estimation-cache escape hatch shared by the estimating commands.
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the estimation memoization/batching layer "
+        "(bit-identical results, cold hot path; see "
+        "docs/estimation_performance.md)",
+    )
+
     sub.add_parser("list", help="list the Table II benchmarks")
 
     def add_bench(p):
         p.add_argument("benchmark", help="benchmark name (see 'repro list')")
 
     p = sub.add_parser("estimate", help="estimate one design point",
-                       parents=[obs_flags])
+                       parents=[obs_flags, cache_flags])
     add_bench(p)
     p.add_argument("--set", nargs="*", metavar="K=V",
                    help="override design parameters")
 
     p = sub.add_parser("explore", help="design space exploration",
-                       parents=[obs_flags])
+                       parents=[obs_flags, cache_flags])
     add_bench(p)
     p.add_argument("--points", type=int, default=1000)
     p.add_argument("--seed", type=int, default=1)
@@ -356,7 +381,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(skips completed work)")
 
     p = sub.add_parser("speedup", help="best design vs the CPU baseline",
-                       parents=[obs_flags])
+                       parents=[obs_flags, cache_flags])
     add_bench(p)
     p.add_argument("--points", type=int, default=1000)
     p.add_argument("--seed", type=int, default=1)
@@ -367,17 +392,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--set", nargs="*", metavar="K=V")
     p.add_argument("-o", "--output", help="output file (default: stdout)")
 
-    p = sub.add_parser("power", help="power/energy estimate (extension)")
+    p = sub.add_parser("power", help="power/energy estimate (extension)",
+                       parents=[cache_flags])
     add_bench(p)
     p.add_argument("--set", nargs="*", metavar="K=V")
 
     p = sub.add_parser(
-        "analyze", help="bottleneck + roofline diagnosis (extension)"
+        "analyze", help="bottleneck + roofline diagnosis (extension)",
+        parents=[cache_flags],
     )
     add_bench(p)
     p.add_argument("--set", nargs="*", metavar="K=V")
 
-    p = sub.add_parser("report", help="consolidated evaluation report")
+    p = sub.add_parser("report", help="consolidated evaluation report",
+                       parents=[cache_flags])
     p.add_argument("--points", type=int, default=400,
                    help="DSE budget per benchmark")
     p.add_argument("--workers", type=int, default=1,

@@ -33,7 +33,13 @@ from typing import Dict, List, Optional, Union
 from .. import obs
 from ..apps.registry import Benchmark, Dataset
 from ..estimation.estimator import Estimate, Estimator
-from ..runtime import CheckpointStore, merge_outcomes, plan_shards, run_plan
+from ..runtime import (
+    DEFAULT_BATCH_SIZE,
+    CheckpointStore,
+    merge_outcomes,
+    plan_shards,
+    run_plan,
+)
 from .pareto import pareto_front
 
 DEFAULT_MAX_POINTS = 75_000
@@ -121,6 +127,7 @@ def explore(
     workers: int = 1,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ExplorationResult:
     """Explore ``benchmark``'s design space with ``estimator``.
 
@@ -130,6 +137,12 @@ def explore(
     process pool after the estimator is trained. ``checkpoint_dir``
     writes per-shard JSONL checkpoints there; ``resume=True`` restores
     completed work from that directory instead of re-estimating it.
+
+    When the estimator caches (the default), each shard estimates fresh
+    designs in blocks of ``batch_size`` through the vectorized
+    ``estimate_many`` path and dedupes repeat points via the shared
+    design-point cache; results are bit-identical to per-point
+    estimation (``--no-cache``).
     """
     if not isinstance(workers, int) or isinstance(workers, bool):
         raise ValueError(f"workers must be a positive integer, got {workers!r}")
@@ -157,7 +170,7 @@ def explore(
         run = run_plan(
             benchmark, estimator, dataset, plan,
             workers=workers, store=store, resume=resume,
-            progress_every=progress_every,
+            progress_every=progress_every, batch_size=batch_size,
         )
         records, conservation = merge_outcomes(plan, run.outcomes)
         conservation.verify()

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..apps.registry import Benchmark, Dataset
+from ..estimation.cache import DEFAULT_POINT_ENTRIES, MISS, LRUCache, point_key
 from ..estimation.estimator import Estimate, Estimator
 from ..ir.node import IRError
 from ..params import BoolParam, IntParam, ParamSpace
@@ -72,27 +73,48 @@ def local_search(
     restarts: int = 6,
     seed: int = 1,
 ) -> SearchResult:
-    """Randomized hill climbing on runtime over the legal space."""
+    """Randomized hill climbing on runtime over the legal space.
+
+    Point dedupe is two-level: a per-search ``seen`` map preserves the
+    walk's budget/trajectory semantics (each distinct point costs one
+    evaluation per search), while the estimator's shared design-point
+    cache (:class:`~repro.estimation.cache.EstimationCaches`) skips the
+    build+estimate work for points any earlier search or exploration
+    already priced — sharing dedupe logic and hit/miss counters with the
+    sharded explore runner. Illegal points cache as ``None``.
+    """
     dataset = dataset or benchmark.default_dataset()
     space = benchmark.param_space(dataset)
     rng = random.Random(seed)
     result = SearchResult(benchmark.name, dataset)
-    cache: Dict[Tuple, Optional[Estimate]] = {}
+    caches = getattr(estimator, "caches", None)
+    point_cache: LRUCache = (
+        caches.points if caches is not None
+        else LRUCache("points", DEFAULT_POINT_ENTRIES)  # local, uncached run
+    )
+    seen: Dict[Tuple, Optional[Estimate]] = {}
 
     def evaluate(point: Point) -> Optional[Estimate]:
-        key = tuple(sorted(point.items()))
-        if key in cache:
-            return cache[key]
+        key = point_key(benchmark.name, dataset, point)
+        if key in seen:
+            return seen[key]
         if result.evaluations >= budget:
             return None
         result.evaluations += 1
-        try:
-            design = benchmark.build(dataset, **point)
-        except IRError:
-            cache[key] = None
+        cached = point_cache.get(key)
+        if cached is not MISS:
+            estimate: Optional[Estimate] = cached  # type: ignore[assignment]
+        else:
+            try:
+                design = benchmark.build(dataset, **point)
+            except IRError:
+                estimate = None
+            else:
+                estimate = estimator.estimate(design)
+            point_cache.put(key, estimate)
+        seen[key] = estimate
+        if estimate is None:
             return None
-        estimate = estimator.estimate(design)
-        cache[key] = estimate
         if estimate.fits():
             if result.best is None or estimate.cycles < result.best.cycles:
                 result.best = DesignPoint(dict(point), estimate)

@@ -1,6 +1,13 @@
 """Estimation: fast cycle-count and hybrid area models (paper Section IV)."""
 
-from .area import AreaEstimate, RawArea, hybrid_area, raw_area
+from .area import AreaEstimate, RawArea, hybrid_area, hybrid_area_many, raw_area
+from .cache import (
+    CachedTemplateModels,
+    EstimationCaches,
+    LRUCache,
+    PipeScheduleInfo,
+    point_key,
+)
 from .characterize import TemplateModels, characterize_templates
 from .counts import Counts
 from .cycles import CycleEstimate, estimate_cycles, transfer_cycles
@@ -15,16 +22,20 @@ from .validation import CrossValidationReport, cross_validate
 
 __all__ = [
     "AreaEstimate",
+    "CachedTemplateModels",
     "CorrectionModels",
     "CrossValidationReport",
     "cross_validate",
     "Counts",
     "CycleEstimate",
     "Estimate",
+    "EstimationCaches",
     "Estimator",
+    "LRUCache",
     "MLP",
     "MLPConfig",
     "N_FEATURES",
+    "PipeScheduleInfo",
     "PowerEstimate",
     "RawArea",
     "TemplateModels",
@@ -36,7 +47,9 @@ __all__ = [
     "fit_linear",
     "generate_sample_design",
     "hybrid_area",
+    "hybrid_area_many",
     "load_estimator",
+    "point_key",
     "raw_area",
     "save_estimator",
     "train_corrections",

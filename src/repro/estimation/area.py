@@ -53,7 +53,6 @@ class RawArea:
     def add(self, tag: str, counts: Counts) -> None:
         """Accumulate one template's counts under a category tag."""
         self.counts.add(counts)
-        """Accumulate one template's counts under a category tag."""
         self.by_tag.setdefault(tag, Counts()).add(counts)
 
 
@@ -88,17 +87,25 @@ class AreaEstimate:
         )
 
 
-def raw_area(design: Design, models: TemplateModels) -> RawArea:
+def raw_area(design: Design, models: TemplateModels, caches=None) -> RawArea:
     """Sum characterized template models over every node in the design.
 
     Outer-loop parallelization replicates hardware, so every template's
     counts are scaled by the replication factor of its scope.
+
+    ``caches`` is an optional
+    :class:`~repro.estimation.cache.EstimationCaches`: template
+    predictions are memoized and per-Pipe delay-balancing counts are
+    reused across structurally identical bodies. Results are
+    bit-identical with and without it.
     """
     raw = RawArea()
     device = models.device
+    if caches is not None:
+        models = caches.wrap_templates(models)
     for ctrl in design.controllers():
         scoped = _ScopedRawArea(raw, replication(ctrl))
-        _count_controller(ctrl, models, scoped)
+        _count_controller(ctrl, models, scoped, caches)
     for mem in design.onchip_mems():
         scoped = _ScopedRawArea(raw, replication(mem))
         _count_memory(mem, models, scoped, device)
@@ -124,7 +131,9 @@ class _ScopedRawArea:
 # -- per-template counting -------------------------------------------------------
 
 
-def _count_controller(ctrl: Controller, models: TemplateModels, raw: RawArea) -> None:
+def _count_controller(
+    ctrl: Controller, models: TemplateModels, raw: RawArea, caches=None
+) -> None:
     if ctrl.cchain is not None:
         raw.add(
             "counter",
@@ -133,7 +142,7 @@ def _count_controller(ctrl: Controller, models: TemplateModels, raw: RawArea) ->
             ),
         )
     if isinstance(ctrl, Pipe):
-        _count_pipe(ctrl, models, raw)
+        _count_pipe(ctrl, models, raw, caches)
     elif isinstance(ctrl, TileTransfer):
         raw.add(
             "tile_transfer",
@@ -188,7 +197,9 @@ def _count_accum(ctrl: Controller, models: TemplateModels, raw: RawArea) -> None
         raw.add("accum", models.predict_prim(op, tp, 1))
 
 
-def _count_pipe(pipe: Pipe, models: TemplateModels, raw: RawArea) -> None:
+def _count_pipe(
+    pipe: Pipe, models: TemplateModels, raw: RawArea, caches=None
+) -> None:
     body = [n for n in pipe.body_prims if not isinstance(n, Const)]
     raw.add("control", models.predict("pipe", {"n": len(body)}))
 
@@ -224,7 +235,7 @@ def _count_pipe(pipe: Pipe, models: TemplateModels, raw: RawArea) -> None:
                 ),
             )
     _count_reduce_tree(pipe, models, raw)
-    _count_delays(pipe, body, models, raw)
+    _count_delays(pipe, body, raw, caches)
 
 
 def _count_reduce_tree(pipe: Pipe, models: TemplateModels, raw: RawArea) -> None:
@@ -257,12 +268,15 @@ def _predict_fma_fusions(body: List[Node]) -> set:
     return fused
 
 
-def _count_delays(
-    pipe: Pipe, body: List[Node], models: TemplateModels, raw: RawArea
-) -> None:
-    """Delay-balancing resources from ASAP slack (paper Section IV-B2)."""
-    times = asap_schedule(body)
-    device = models.device
+def delay_contributions(body: List[Node], times) -> List[Counts]:
+    """Per-edge delay-balancing Counts in deterministic traversal order.
+
+    Exposed for the schedule cache (:mod:`repro.estimation.cache`): the
+    list is fully determined by the body's structural signature, and
+    replaying it performs the same float additions in the same order as
+    the cold path, keeping cached estimates bit-identical.
+    """
+    out: List[Counts] = []
     for node in body:
         start = times[node.nid][0]
         for inp in getattr(node, "inputs", []):
@@ -274,9 +288,22 @@ def _count_delays(
             bits = inp.tp.bits * max(inp.width, 1)
             if slack > DELAY_BRAM_THRESHOLD:
                 blocks = max(1.0, bits * slack / (20 * 1024 * 0.8))
-                raw.add("delay", Counts(brams=blocks))
+                out.append(Counts(brams=blocks))
             else:
-                raw.add("delay", Counts(regs=bits * slack))
+                out.append(Counts(regs=bits * slack))
+    return out
+
+
+def _count_delays(
+    pipe: Pipe, body: List[Node], raw: RawArea, caches=None
+) -> None:
+    """Delay-balancing resources from ASAP slack (paper Section IV-B2)."""
+    if caches is not None:
+        contributions = caches.pipe_info(pipe, body).delays
+    else:
+        contributions = delay_contributions(body, asap_schedule(body))
+    for counts in contributions:
+        raw.add("delay", counts)
 
 
 def _count_memory(
@@ -314,11 +341,54 @@ def _count_memory(
 # -- hybrid estimate ---------------------------------------------------------------
 
 
+def _finalize_area(
+    raw_counts: Counts,
+    device,
+    routing: float,
+    dup_regs: float,
+    unavailable: float,
+    dup_brams: float,
+) -> AreaEstimate:
+    """LUT packing + register overflow: corrections -> final AreaEstimate.
+
+    Shared by the single-design and batched paths so both produce
+    bit-identical results from the same corrections.
+    """
+    # Routing LUTs are assumed always packable (paper Section IV-B2).
+    packable = raw_counts.luts_packable + routing
+    unpackable = raw_counts.luts_unpackable
+    rate = device.lut_pack_rate
+    lut_units = (
+        unpackable + packable * (1.0 - rate) + packable * rate / 2.0
+    )
+    lut_units += unavailable
+
+    total_regs = raw_counts.regs + dup_regs
+    extra_reg_alms = max(
+        0.0, total_regs - device.regs_per_alm * lut_units
+    )
+    extra_reg_alms /= device.regs_per_alm
+    alms = lut_units + extra_reg_alms
+
+    return AreaEstimate(
+        alms=int(round(alms)),
+        dsps=int(round(raw_counts.dsps)),
+        brams=int(round(raw_counts.brams + dup_brams)),
+        regs=int(round(total_regs)),
+        raw=raw_counts,
+        routing_luts=routing,
+        duplicated_regs=dup_regs,
+        duplicated_brams=dup_brams,
+        unavailable_luts=unavailable,
+    )
+
+
 def hybrid_area(
     design: Design,
     models: TemplateModels,
     corrections,
     board: Board = MAIA,
+    caches=None,
 ) -> AreaEstimate:
     """Raw counts + NN corrections + LUT packing -> final area estimate.
 
@@ -329,7 +399,7 @@ def hybrid_area(
     device = board.device
     with obs.timed("area", "pass.area_s", design=design.name):
         with obs.timed("area.raw", "pass.area_raw_s"):
-            raw = raw_area(design, models)
+            raw = raw_area(design, models, caches)
             feats = design_features(design, raw.counts, raw.wire_bits)
 
         # The NN corrections are the one non-analytical estimation stage;
@@ -344,30 +414,50 @@ def hybrid_area(
                 routing, raw.counts
             )
 
-        # Routing LUTs are assumed always packable (paper Section IV-B2).
-        packable = raw.counts.luts_packable + routing
-        unpackable = raw.counts.luts_unpackable
-        rate = device.lut_pack_rate
-        lut_units = (
-            unpackable + packable * (1.0 - rate) + packable * rate / 2.0
+        return _finalize_area(
+            raw.counts, device, routing, dup_regs, unavailable, dup_brams
         )
-        lut_units += unavailable
 
-        total_regs = raw.counts.regs + dup_regs
-        extra_reg_alms = max(
-            0.0, total_regs - device.regs_per_alm * lut_units
+
+def hybrid_area_many(
+    designs: List[Design],
+    models: TemplateModels,
+    corrections,
+    board: Board = MAIA,
+    caches=None,
+) -> List[AreaEstimate]:
+    """Batched :func:`hybrid_area`: raw counting per design, NN once.
+
+    Raw counting stays sequential (it walks each IR graph), but the four
+    correction models run as one vectorized forward pass over the whole
+    block. The MLP forward is batch-size invariant
+    (:meth:`repro.estimation.nn.MLP.predict`), so results are
+    bit-identical to estimating each design alone.
+    """
+    from .features import design_features  # local import to avoid cycle
+
+    device = board.device
+    raws = []
+    feats = []
+    for design in designs:
+        with obs.timed(
+            "area.raw", "pass.area_raw_s", design=design.name
+        ):
+            raw = raw_area(design, models, caches)
+            feats.append(design_features(design, raw.counts, raw.wire_bits))
+        raws.append(raw)
+    with obs.timed("area.nn", "pass.area_nn_s", batch=len(designs)):
+        routing, dup_regs, unavailable, dup_brams = corrections.predict_batch(
+            feats, [raw.counts for raw in raws]
         )
-        extra_reg_alms /= device.regs_per_alm
-        alms = lut_units + extra_reg_alms
-
-    return AreaEstimate(
-        alms=int(round(alms)),
-        dsps=int(round(raw.counts.dsps)),
-        brams=int(round(raw.counts.brams + dup_brams)),
-        regs=int(round(total_regs)),
-        raw=raw.counts,
-        routing_luts=routing,
-        duplicated_regs=dup_regs,
-        duplicated_brams=dup_brams,
-        unavailable_luts=unavailable,
-    )
+    return [
+        _finalize_area(
+            raws[i].counts,
+            device,
+            float(routing[i]),
+            float(dup_regs[i]),
+            float(unavailable[i]),
+            float(dup_brams[i]),
+        )
+        for i in range(len(designs))
+    ]

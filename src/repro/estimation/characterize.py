@@ -212,13 +212,19 @@ class TemplateModels:
             values.get("brams", 0.0),
         )
 
-    def predict_prim(self, op: str, tp, width: int) -> Counts:
-        """Estimate one primitive node's resources by op and operand type."""
+    def prim_key(self, op: str, tp) -> str:
+        """Model key for a primitive op on operand type ``tp``."""
         family = "flt" if tp.is_float else ("bit" if tp.is_bit else "fix")
         key = f"prim:{op}:{family}"
         if key not in self.coefs:  # bit-typed arithmetic falls back to fixed
             key = f"prim:{op}:fix"
-        return self.predict(key, {"bits": tp.bits, "width": width})
+        return key
+
+    def predict_prim(self, op: str, tp, width: int) -> Counts:
+        """Estimate one primitive node's resources by op and operand type."""
+        return self.predict(
+            self.prim_key(op, tp), {"bits": tp.bits, "width": width}
+        )
 
 
 def characterize_templates(device: Device = STRATIX_V) -> TemplateModels:

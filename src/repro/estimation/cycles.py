@@ -48,13 +48,21 @@ class CycleEstimate:
         return self.total / self.board.fabric_clock_hz
 
 
-def estimate_cycles(design: Design, board: Board = MAIA) -> CycleEstimate:
-    """Estimate the total runtime of ``design`` on ``board`` in cycles."""
+def estimate_cycles(
+    design: Design, board: Board = MAIA, caches=None
+) -> CycleEstimate:
+    """Estimate the total runtime of ``design`` on ``board`` in cycles.
+
+    ``caches`` is an optional
+    :class:`~repro.estimation.cache.EstimationCaches`; when given, Pipe
+    critical-path latencies are reused across structurally identical
+    bodies (bit-identical to scheduling from scratch).
+    """
     with obs.timed("cycles", "pass.cycles_s", design=design.name) as sp:
         estimate = CycleEstimate(0.0, board)
         total = 0.0
         for top in design.top_controllers:
-            total += _controller_cycles(top, board, 0, estimate)
+            total += _controller_cycles(top, board, 0, estimate, caches)
         estimate.total = total
         sp.set(cycles=total)
     return estimate
@@ -65,11 +73,12 @@ def _controller_cycles(
     board: Board,
     contention: int,
     estimate: CycleEstimate,
+    caches=None,
 ) -> float:
     if isinstance(ctrl, TileTransfer):
         cycles = transfer_cycles(ctrl, board, contention + 1)
     elif isinstance(ctrl, Pipe):
-        cycles = _pipe_cycles(ctrl)
+        cycles = _pipe_cycles(ctrl, caches)
     elif isinstance(ctrl, Parallel):
         # Children run concurrently: each child's transfers compete with
         # every *other* child's transfers (plus anything already active).
@@ -77,7 +86,7 @@ def _controller_cycles(
             (
                 _controller_cycles(
                     child, board, _overlap_contention(ctrl, child, contention),
-                    estimate,
+                    estimate, caches,
                 )
                 for child in ctrl.stages
             ),
@@ -89,7 +98,7 @@ def _controller_cycles(
         stage_cycles = [
             _controller_cycles(
                 child, board, _overlap_contention(ctrl, child, contention),
-                estimate,
+                estimate, caches,
             )
             for child in ctrl.stages
         ]
@@ -106,6 +115,7 @@ def _controller_cycles(
                 board,
                 contention + (ctrl.par - 1) * weighted_transfers(child),
                 estimate,
+                caches,
             )
             for child in ctrl.stages
         ]
@@ -117,11 +127,14 @@ def _controller_cycles(
     return cycles
 
 
-def _pipe_cycles(pipe: Pipe) -> float:
+def _pipe_cycles(pipe: Pipe, caches=None) -> float:
     """Latency of one Pipe: critical path + (N-1) at II=1 (+ reduce drain)."""
     body = [n for n in pipe.body_prims if not isinstance(n, Const)]
-    times = asap_schedule(body)
-    latency = max((end for _, end in times.values()), default=1)
+    if caches is not None:
+        latency = caches.pipe_info(pipe, body).latency
+    else:
+        times = asap_schedule(body)
+        latency = max((end for _, end in times.values()), default=1)
     n = pipe.iterations
     cycles = PIPE_STARTUP + latency + max(n - 1, 0)
     if pipe.accum is not None and pipe.result is not None:

@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
 
 from .. import obs
 from ..ir.graph import Design
 from ..target.board import MAIA, Board
-from .area import AreaEstimate, hybrid_area
+from .area import AreaEstimate, hybrid_area, hybrid_area_many
+from .cache import EstimationCaches
 from .characterize import TemplateModels, characterize_templates
 from .cycles import CycleEstimate, estimate_cycles
 from .train import CorrectionModels, train_corrections
@@ -53,7 +54,15 @@ class Estimate:
 
 
 class Estimator:
-    """Fast design analysis: cycle counts plus hybrid area estimation."""
+    """Fast design analysis: cycle counts plus hybrid area estimation.
+
+    With ``cache=True`` (the default) the estimator owns an
+    :class:`~repro.estimation.cache.EstimationCaches` bundle that
+    memoizes template predictions, Pipe schedules, and whole design
+    points across estimates. Cached results are bit-identical to the
+    cold path; pass ``cache=False`` (the ``--no-cache`` CLI flag) to
+    estimate from scratch every time.
+    """
 
     def __init__(
         self,
@@ -62,8 +71,12 @@ class Estimator:
         corrections: Optional[CorrectionModels] = None,
         training_samples: int = 200,
         seed: int = 7,
+        cache: bool = True,
     ) -> None:
         self.board = board
+        self.caches: Optional[EstimationCaches] = (
+            EstimationCaches() if cache else None
+        )
         if templates is None:
             with obs.timed(
                 "estimator.characterize", "estimator.characterize_s",
@@ -84,11 +97,13 @@ class Estimator:
 
     def estimate_cycles(self, design: Design) -> CycleEstimate:
         """Runtime estimate only (paper Section IV-B1)."""
-        return estimate_cycles(design, self.board)
+        return estimate_cycles(design, self.board, self.caches)
 
     def estimate_area(self, design: Design) -> AreaEstimate:
         """Hybrid area estimate only (paper Section IV-B2)."""
-        return hybrid_area(design, self.templates, self.corrections, self.board)
+        return hybrid_area(
+            design, self.templates, self.corrections, self.board, self.caches
+        )
 
     def estimate(self, design: Design) -> Estimate:
         """Complete design-point estimate: cycles plus area."""
@@ -104,6 +119,40 @@ class Estimator:
             board=self.board,
         )
 
+    def estimate_many(self, designs: Sequence[Design]) -> List[Estimate]:
+        """Batched estimates: per-design cycles, one vectorized NN pass.
+
+        Raw counting and cycle analysis run per design (reusing this
+        estimator's caches), while the four correction networks evaluate
+        the whole block in a single forward pass each. Every returned
+        :class:`Estimate` is bit-identical to calling :meth:`estimate`
+        on that design alone.
+        """
+        if not designs:
+            return []
+        with obs.timed(
+            "estimate.batch", "estimate.batch_latency_s", batch=len(designs)
+        ):
+            for _ in designs:
+                obs.counter("estimate.calls").inc()
+            cycles = [
+                estimate_cycles(d, self.board, self.caches) for d in designs
+            ]
+            areas = hybrid_area_many(
+                list(designs), self.templates, self.corrections,
+                self.board, self.caches,
+            )
+        return [
+            Estimate(
+                design_name=design.name,
+                cycles=cyc.total,
+                seconds=cyc.seconds,
+                area=area,
+                board=self.board,
+            )
+            for design, cyc, area in zip(designs, cycles, areas)
+        ]
+
 
 @functools.lru_cache(maxsize=4)
 def _build_default_estimator(board: Board, seed: int) -> Estimator:
@@ -111,13 +160,19 @@ def _build_default_estimator(board: Board, seed: int) -> Estimator:
     return Estimator(board, seed=seed)
 
 
-def default_estimator(board: Board = MAIA, seed: int = 7) -> Estimator:
+def default_estimator(
+    board: Board = MAIA, seed: int = 7, cache: bool = True
+) -> Estimator:
     """Process-wide shared estimator (characterize + train once).
 
     Counts ``estimator.cache.{hit,miss}`` so the cold-start cost
     (characterization + NN training, visible as ``estimator.characterize``
     / ``estimator.train`` spans) can be separated from steady-state CLI
     latency — and so per-worker warm-up shows up in parallel-DSE benches.
+
+    ``cache=False`` (the CLI ``--no-cache`` flag) returns an estimator
+    sharing the same trained models but with estimation caching disabled
+    — no recharacterization, just the cold per-point hot path.
     """
     misses_before = _build_default_estimator.cache_info().misses
     estimator = _build_default_estimator(board, seed)
@@ -125,6 +180,13 @@ def default_estimator(board: Board = MAIA, seed: int = 7) -> Estimator:
         obs.counter("estimator.cache.miss").inc()
     else:
         obs.counter("estimator.cache.hit").inc()
+    if not cache:
+        return Estimator(
+            board,
+            templates=estimator.templates,
+            corrections=estimator.corrections,
+            cache=False,
+        )
     return estimator
 
 

@@ -61,11 +61,34 @@ class MLP:
         y = h @ self.w2.T + self.b2
         return h, y
 
+    @staticmethod
+    def _affine(x: np.ndarray, w: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant affine map equal in value to ``x @ w.T + b``.
+
+        BLAS matmuls pick different accumulation orders for different
+        batch shapes, so ``(x @ w.T)[i]`` can drift ~1e-15 between a
+        one-row and an N-row call. Inference instead accumulates one
+        input feature at a time with elementwise broadcasts, which makes
+        every row's arithmetic independent of how many rows ride along —
+        the foundation of the batched-estimation bit-identity guarantee.
+        Training keeps the fast BLAS ``_forward``.
+        """
+        acc = x[:, 0, None] * w[:, 0]
+        for j in range(1, w.shape[1]):
+            acc = acc + x[:, j, None] * w[:, j]
+        return acc + b
+
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Predict targets for raw (unstandardized) inputs."""
+        """Predict targets for raw (unstandardized) inputs.
+
+        Accepts one feature row or a stacked batch; the result for any
+        row is bit-identical either way (see :meth:`_affine`).
+        """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         xs = (x - self.x_mean) / self.x_std
-        _, y = self._forward(xs)
+        z1 = self._affine(xs, self.w1, self.b1)
+        h = 1.0 / (1.0 + np.exp(-np.clip(z1, -40, 40)))
+        y = self._affine(h, self.w2, self.b2)
         return (y[:, 0] * self.y_std) + self.y_mean
 
     # -- training ------------------------------------------------------------------

@@ -52,6 +52,36 @@ class CorrectionModels:
         frac = float(self.unavail_net.predict(np.array(feats))[0])
         return min(max(frac, 0.0), 0.3) * raw.luts
 
+    def predict_batch(
+        self,
+        feats_rows: Sequence[Sequence[float]],
+        raws: Sequence[Counts],
+    ):
+        """All four corrections for a block of designs, vectorized.
+
+        One forward pass per network over the stacked feature matrix
+        instead of one per design. ``np.clip`` matches the scalar
+        ``min(max(...))`` clamps and the MLP forward is batch-size
+        invariant, so each row equals the scalar ``predict_*`` results
+        bit for bit. Returns ``(routing_luts, duplicated_regs,
+        unavailable_luts, duplicated_brams)`` arrays of length
+        ``len(raws)``.
+        """
+        if not raws:
+            empty = np.empty(0, dtype=float)
+            return empty, empty, empty, empty
+        x = np.array(feats_rows, dtype=float)
+        luts = np.array([raw.luts for raw in raws], dtype=float)
+        regs = np.array([raw.regs for raw in raws], dtype=float)
+        brams = np.array([raw.brams for raw in raws], dtype=float)
+        routing = np.clip(self.routing_net.predict(x), 0.01, 0.5) * luts
+        dup_regs = np.clip(self.dup_reg_net.predict(x), 0.0, 0.4) * regs
+        unavailable = np.clip(self.unavail_net.predict(x), 0.0, 0.3) * luts
+        routing_frac = routing / np.maximum(luts, 1.0)
+        frac = self.bram_coef[0] + self.bram_coef[1] * routing_frac
+        dup_brams = np.clip(frac, 0.0, 1.0) * brams
+        return routing, dup_regs, unavailable, dup_brams
+
     def predict_duplicated_brams(self, routing_luts: float, raw: Counts) -> float:
         """Duplicated BRAMs: a simple linear fit driven by routing LUTs.
 

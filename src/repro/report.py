@@ -154,19 +154,48 @@ def _effects_section() -> List[str]:
     ]
 
 
-def _metrics_section() -> List[str]:
+def _metrics_section(estimator: Optional[Estimator] = None) -> List[str]:
     """Counters and latency histograms collected while the report ran."""
-    return [
+    lines = [
         "## Observability — metrics collected during this report",
         "",
         "Per-pass latency histograms (`pass.*`) decompose Table IV's",
         "per-design estimation time; `dse.*` counters census the sampled",
-        "spaces. See docs/observability.md.",
+        "spaces; `estimator.cache.*` and `estimation.cache.*` counters",
+        "explain how much of the sweep the memoization layer absorbed.",
+        "See docs/observability.md and docs/estimation_performance.md.",
         "",
         "```",
         obs.metrics().summary_table(title=None),
         "```",
     ]
+    lines += _estimation_cache_section(estimator)
+    return lines
+
+
+def _estimation_cache_section(estimator: Optional[Estimator]) -> List[str]:
+    """Per-cache hit/miss/evict table for the estimator's cache bundle."""
+    from .estimation.estimator import default_estimator
+
+    info = default_estimator.cache_info()
+    lines = [
+        "",
+        "### Estimation cache",
+        "",
+        f"Shared-estimator constructions: {info.hits} reused, "
+        f"{info.misses} built (`estimator.cache.{{hit,miss}}`).",
+    ]
+    caches = getattr(estimator, "caches", None)
+    if caches is None:
+        lines += [
+            "",
+            "Estimation memoization disabled for this run (`--no-cache`).",
+        ]
+        return lines
+    lines += ["", "```"]
+    lines += caches.summary_lines()
+    lines += ["```"]
+    return lines
 
 
 def build_report(
@@ -207,7 +236,7 @@ def build_report(
         if "effects" in chosen:
             parts += _effects_section() + [""]
         if "metrics" in chosen:
-            parts += _metrics_section() + [""]
+            parts += _metrics_section(estimator) + [""]
     finally:
         if own_metrics:
             obs.enable(metrics=False)

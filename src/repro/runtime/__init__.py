@@ -35,6 +35,7 @@ from .merge import (
     merge_pareto_fronts,
 )
 from .pool import (
+    DEFAULT_BATCH_SIZE,
     RunOutcome,
     ShardOutcome,
     fork_available,
@@ -46,6 +47,7 @@ from .sharding import Shard, ShardPlan, plan_shards, shard_seed
 __all__ = [
     "CheckpointError",
     "CheckpointStore",
+    "DEFAULT_BATCH_SIZE",
     "Conservation",
     "ConservationError",
     "PointRecord",

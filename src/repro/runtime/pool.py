@@ -33,9 +33,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
 
 from .. import obs
+from ..estimation.cache import MISS, point_key
 from ..ir.node import IRError
 from .checkpoint import CheckpointStore, PointRecord, ShardState
 from .sharding import Shard, ShardPlan
+
+# Designs estimated per estimate_many() call on the cached/batched path.
+DEFAULT_BATCH_SIZE = 32
 
 
 @dataclass
@@ -77,40 +81,111 @@ def run_shard(
     writer=None,
     skip: Optional[Set[int]] = None,
     on_point: Optional[Callable[[PointRecord], None]] = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ShardOutcome:
     """Estimate every point of ``shard`` not in ``skip``.
 
     Runs in the parent (serial path) or inside a forked worker (parallel
     path). ``writer`` receives each fresh record for checkpointing;
     ``on_point`` is the serial path's per-point observability hook.
+
+    When the estimator carries an
+    :class:`~repro.estimation.cache.EstimationCaches` bundle, points are
+    deduplicated against its design-point cache and fresh designs are
+    estimated in blocks of ``batch_size`` through
+    :meth:`~repro.estimation.estimator.Estimator.estimate_many` (one
+    vectorized NN pass per block). Estimates are bit-identical to the
+    per-point path either way.
     """
     skip = skip or set()
     outcome = ShardOutcome(shard=shard.index, planned=len(shard))
     start = time.perf_counter()
-    for offset, params in enumerate(shard.points):
-        index = shard.start + offset
-        if index in skip:
-            continue
-        t0 = time.perf_counter()
-        try:
-            design = benchmark.build(dataset, **params)
-        except IRError:
-            record = PointRecord(index, dict(params), None,
-                                 time.perf_counter() - t0)
-        else:
-            estimate = estimator.estimate(design)
-            record = PointRecord(index, dict(params), estimate,
-                                 time.perf_counter() - t0)
+
+    def emit(record: PointRecord) -> None:
         outcome.records.append(record)
         outcome.estimated += 1
         if writer is not None:
             writer.write(record)
         if on_point is not None:
             on_point(record)
+
+    caches = getattr(estimator, "caches", None)
+    if caches is not None and batch_size > 1:
+        _run_points_batched(
+            benchmark, estimator, dataset, shard, skip, emit,
+            caches, batch_size,
+        )
+    else:
+        for offset, params in enumerate(shard.points):
+            index = shard.start + offset
+            if index in skip:
+                continue
+            t0 = time.perf_counter()
+            try:
+                design = benchmark.build(dataset, **params)
+            except IRError:
+                record = PointRecord(index, dict(params), None,
+                                     time.perf_counter() - t0)
+            else:
+                estimate = estimator.estimate(design)
+                record = PointRecord(index, dict(params), estimate,
+                                     time.perf_counter() - t0)
+            emit(record)
+    outcome.records.sort(key=lambda r: r.index)
     if writer is not None:
         writer.done(shard)
     outcome.elapsed_s = time.perf_counter() - start
     return outcome
+
+
+def _run_points_batched(
+    benchmark, estimator, dataset, shard, skip, emit, caches, batch_size
+) -> None:
+    """Cached shard path: dedupe via the points cache, estimate in blocks.
+
+    Cache hits (including cached-illegal points, stored as ``None``) emit
+    immediately; fresh legal designs are buffered and flushed through
+    ``estimate_many``. Per-point latency for batched points is the build
+    time plus an even share of the batch's estimation time.
+    """
+    pending: List[tuple] = []  # (index, params, key, design, build_s)
+
+    def flush() -> None:
+        if not pending:
+            return
+        t0 = time.perf_counter()
+        estimates = estimator.estimate_many([p[3] for p in pending])
+        share = (time.perf_counter() - t0) / len(pending)
+        for (index, params, key, _, build_s), estimate in zip(
+            pending, estimates
+        ):
+            caches.points.put(key, estimate)
+            emit(PointRecord(index, dict(params), estimate, build_s + share))
+        pending.clear()
+
+    for offset, params in enumerate(shard.points):
+        index = shard.start + offset
+        if index in skip:
+            continue
+        t0 = time.perf_counter()
+        key = point_key(benchmark.name, dataset, params)
+        cached = caches.points.get(key)
+        if cached is not MISS:
+            emit(PointRecord(index, dict(params), cached,
+                             time.perf_counter() - t0))
+            continue
+        try:
+            design = benchmark.build(dataset, **params)
+        except IRError:
+            caches.points.put(key, None)
+            emit(PointRecord(index, dict(params), None,
+                             time.perf_counter() - t0))
+            continue
+        pending.append((index, params, key, design,
+                        time.perf_counter() - t0))
+        if len(pending) >= batch_size:
+            flush()
+    flush()
 
 
 # -- forked-worker plumbing -------------------------------------------------
@@ -145,6 +220,7 @@ def _worker_run_shard(index: int) -> ShardOutcome:
         return run_shard(
             state["benchmark"], state["estimator"], state["dataset"],
             shard, writer=writer, skip=skip,
+            batch_size=state["batch_size"],  # type: ignore[arg-type]
         )
     finally:
         if writer is not None:
@@ -230,12 +306,14 @@ def run_plan(
     store: Optional[CheckpointStore] = None,
     resume: bool = False,
     progress_every: int = 1000,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> RunOutcome:
     """Execute ``plan``: estimate every non-restored point, in order.
 
     Returns one :class:`ShardOutcome` per shard (in shard order) whose
     records include both fresh and checkpoint-restored points, sorted by
-    global index — the merge layer's input.
+    global index — the merge layer's input. ``batch_size`` controls the
+    cached/batched estimation block size (see :func:`run_shard`).
     """
     if not isinstance(workers, int) or isinstance(workers, bool):
         raise ValueError(f"workers must be a positive integer, got {workers!r}")
@@ -276,12 +354,12 @@ def run_plan(
         for shard in pending:
             outcomes[shard.index] = _run_shard_inline(
                 benchmark, estimator, dataset, shard, store,
-                skip.get(shard.index, set()), heartbeat,
+                skip.get(shard.index, set()), heartbeat, batch_size,
             )
     elif pending:
         _run_shards_forked(
             benchmark, estimator, dataset, plan, pending, store, skip,
-            effective_workers, heartbeat, outcomes,
+            effective_workers, heartbeat, outcomes, batch_size,
         )
 
     # Fold restored records back in and finish per-shard bookkeeping.
@@ -300,7 +378,8 @@ def run_plan(
 
 
 def _run_shard_inline(
-    benchmark, estimator, dataset, shard, store, skip, heartbeat
+    benchmark, estimator, dataset, shard, store, skip, heartbeat,
+    batch_size=DEFAULT_BATCH_SIZE,
 ) -> ShardOutcome:
     """Serial path: run one shard in-process with live per-point obs."""
     writer = store.writer(shard, append=bool(skip)) if store else None
@@ -308,6 +387,7 @@ def _run_shard_inline(
         outcome = run_shard(
             benchmark, estimator, dataset, shard,
             writer=writer, skip=skip, on_point=heartbeat.point,
+            batch_size=batch_size,
         )
     finally:
         if writer is not None:
@@ -318,9 +398,14 @@ def _run_shard_inline(
 
 def _run_shards_forked(
     benchmark, estimator, dataset, plan, pending, store, skip,
-    workers, heartbeat, outcomes,
+    workers, heartbeat, outcomes, batch_size=DEFAULT_BATCH_SIZE,
 ) -> None:
-    """Parallel path: fork workers after training, replay obs in parent."""
+    """Parallel path: fork workers after training, replay obs in parent.
+
+    Workers inherit the estimator — including any warm estimation caches
+    — through fork copy-on-write; each child's cache then grows
+    privately for the duration of its shards.
+    """
     global _FORK_STATE
     ctx = multiprocessing.get_context("fork")
     shards_by_index = {shard.index: shard for shard in plan.shards}
@@ -331,6 +416,7 @@ def _run_shards_forked(
         "shards": shards_by_index,
         "store": store,
         "skip": skip,
+        "batch_size": batch_size,
     }
     try:
         with ProcessPoolExecutor(

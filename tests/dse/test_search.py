@@ -42,6 +42,53 @@ class TestLocalSearch:
         assert a.best.params == b.best.params
         assert a.evaluations == b.evaluations
 
+    def test_shares_point_cache_with_explore(self, estimator):
+        """Search dedupes through the estimator's shared design-point
+        cache: points it already priced never build or estimate again,
+        and entries are interchangeable with the sweep runner's."""
+        import pickle
+
+        estimator.caches.clear()
+        bench = get_benchmark("tpchq6")
+        swept = explore(bench, estimator, max_points=150, seed=9)
+        first = local_search(bench, estimator, budget=100, seed=9)
+        misses_after = estimator.caches.points.misses
+        hits_after = estimator.caches.points.hits
+        second = local_search(bench, estimator, budget=100, seed=9)
+        # The repeat search re-visits identical points: zero new builds,
+        # one shared-cache hit per evaluation.
+        assert estimator.caches.points.misses == misses_after
+        assert (estimator.caches.points.hits
+                == hits_after + second.evaluations)
+        assert pickle.dumps(first.best.estimate) == pickle.dumps(
+            second.best.estimate
+        )
+        # Entries are keyed identically to explore's, so any overlap
+        # with the sweep reuses the sweep's exact estimate.
+        by_params = {
+            tuple(sorted(p.params.items())): p.estimate for p in swept.points
+        }
+        key = tuple(sorted(first.best.params.items()))
+        if key in by_params:
+            assert pickle.dumps(by_params[key]) == pickle.dumps(
+                first.best.estimate
+            )
+
+    def test_search_without_caches_matches_cached(self, estimator):
+        """An uncached estimator walks the identical trajectory."""
+        from repro.estimation import Estimator
+
+        cold = Estimator(
+            estimator.board, templates=estimator.templates,
+            corrections=estimator.corrections, cache=False,
+        )
+        a = local_search(get_benchmark("tpchq6"), estimator,
+                         budget=60, seed=11)
+        b = local_search(get_benchmark("tpchq6"), cold, budget=60, seed=11)
+        assert a.evaluations == b.evaluations
+        assert a.trajectory == b.trajectory
+        assert a.best.params == b.best.params
+
     def test_neighbors_stay_legal(self, estimator):
         import random
 

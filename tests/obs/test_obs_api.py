@@ -60,9 +60,18 @@ class TestFacade:
 
 class TestPipelineInstrumentation:
     def test_explore_produces_nested_spans_and_counters(self, estimator):
+        # The uncached estimator exercises the per-point hot path, whose
+        # trace shape (one `estimate` span per point) this test pins down;
+        # the cached/batched shape is covered by the test below.
+        from repro.estimation import Estimator
+
+        cold = Estimator(
+            estimator.board, templates=estimator.templates,
+            corrections=estimator.corrections, cache=False,
+        )
         obs.enable()
         bench = get_benchmark("dotproduct")
-        result = explore(bench, estimator, max_points=12, progress_every=5)
+        result = explore(bench, cold, max_points=12, progress_every=5)
         tracer = obs.tracer()
 
         (exp,) = tracer.find("explore")
@@ -96,6 +105,38 @@ class TestPipelineInstrumentation:
             e for e in tracer.instants if e.name == "dse.progress"
         ]
         assert progress and progress[0].attrs["points_per_sec"] > 0
+
+    def test_explore_batched_spans_and_cache_counters(self, estimator):
+        """The cached estimator traces estimate.batch blocks instead of
+        per-point estimate spans, plus estimation.cache.* counters."""
+        assert estimator.caches is not None
+        estimator.caches.clear()  # session fixture may be warm already
+        obs.enable()
+        bench = get_benchmark("dotproduct")
+        result = explore(bench, estimator, max_points=12, progress_every=5)
+        tracer = obs.tracer()
+
+        (exp,) = tracer.find("explore")
+        batches = tracer.find("estimate.batch")
+        assert batches and all(
+            s.parent_id == exp.span_id for s in batches
+        )
+        assert sum(s.attrs["batch"] for s in batches) == len(result.points)
+        batch_ids = {s.span_id for s in batches}
+        for name in ("cycles", "area.raw"):
+            spans = tracer.find(name)
+            assert len(spans) == len(result.points)
+            assert all(s.parent_id in batch_ids for s in spans)
+        # One vectorized NN pass per block, not one per design.
+        nn = tracer.find("area.nn")
+        assert len(nn) == len(batches)
+
+        counts = obs.metrics().to_dict()["counters"]
+        assert counts["estimate.calls"] == len(result.points)
+        assert counts.get("estimation.cache.hit", 0) > 0
+        assert counts.get("estimation.cache.miss", 0) > 0
+        hist = obs.metrics().to_dict()["histograms"]["dse.point_latency_s"]
+        assert hist["count"] == len(result.points)
 
     def test_simulate_traces_controller_hierarchy(self, estimator):
         obs.enable(trace=True)

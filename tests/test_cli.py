@@ -147,6 +147,9 @@ class TestObservabilityFlags:
     def test_explore_trace_has_nested_pipeline_spans(
         self, estimator, tmp_path
     ):
+        # The cached estimator estimates in batches: explore nests
+        # estimate.batch blocks with per-design cycles/area.raw passes.
+        estimator.caches.clear()
         trace = tmp_path / "trace.json"
         code, _ = run_cli(
             estimator, "explore", "tpchq6", "--points", "15",
@@ -156,12 +159,33 @@ class TestObservabilityFlags:
         doc = json.loads(trace.read_text())
         spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
         names = {e["name"] for e in spans}
-        assert {"explore", "estimate", "cycles", "area"} <= names
+        assert {"explore", "estimate.batch", "cycles", "area.raw"} <= names
         explore_span = next(e for e in spans if e["name"] == "explore")
-        est = next(e for e in spans if e["name"] == "estimate")
+        est = next(e for e in spans if e["name"] == "estimate.batch")
         assert explore_span["ts"] <= est["ts"]
         assert (est["ts"] + est["dur"]
                 <= explore_span["ts"] + explore_span["dur"] + 1e-6)
+
+    def test_explore_no_cache_traces_per_point_estimates(
+        self, estimator, tmp_path
+    ):
+        """--no-cache keeps the per-point hot path and its trace shape."""
+        from repro.estimation import Estimator
+
+        cold = Estimator(
+            estimator.board, templates=estimator.templates,
+            corrections=estimator.corrections, cache=False,
+        )
+        trace = tmp_path / "trace.json"
+        code, _ = run_cli(
+            cold, "explore", "tpchq6", "--points", "15", "--no-cache",
+            "--trace", str(trace),
+        )
+        assert code == 0
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"explore", "estimate", "cycles", "area"} <= names
+        assert "estimate.batch" not in names
 
     def test_explore_metrics_prints_counters_and_histogram(
         self, estimator
@@ -276,6 +300,7 @@ class TestParallelExploreFlags:
 
 class TestStreamingTraceFlag:
     def test_trace_jsonl_streams_spans(self, estimator, tmp_path):
+        estimator.caches.clear()
         stream = tmp_path / "trace.jsonl"
         code, text = run_cli(
             estimator, "explore", "tpchq6", "--points", "10",
@@ -285,9 +310,10 @@ class TestStreamingTraceFlag:
         assert "streamed" in text and str(stream) in text
         docs = [json.loads(l) for l in stream.read_text().splitlines()]
         assert any(d["name"] == "explore" for d in docs)
-        assert any(d["name"] == "estimate" for d in docs)
+        assert any(d["name"] == "estimate.batch" for d in docs)
 
     def test_span_cap_bounds_memory(self, estimator, tmp_path):
+        estimator.caches.clear()
         stream = tmp_path / "trace.jsonl"
         code, _ = run_cli(
             estimator, "explore", "tpchq6", "--points", "10",
