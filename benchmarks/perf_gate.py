@@ -1,18 +1,20 @@
-"""CI perf gate for the memoized + batched estimation hot path.
+"""CI perf gate for the estimation hot path and the parallel DSE engine.
 
-Re-measures the cached-vs-``--no-cache`` speedup on the benchmarks
-recorded in ``BENCH_table4.json``'s ``estimation_cache`` section and
-exits non-zero if any fresh speedup falls more than
-``REGRESSION_TOLERANCE`` (30%) below the committed ratio.
+Gates three sections of ``BENCH_table4.json``, all as *ratios* (never
+absolute points/sec: both the committed number and the fresh one divide
+two wall times on the same host, so slow CI runners cancel out):
 
-The gate compares *ratios*, never absolute points/sec: both the
-committed number and the fresh one divide a cached sweep by an uncached
-sweep on the same host, so slow CI runners cancel out and only genuine
-hot-path regressions (a cache stops hitting, batching degrades to
-per-point work) trip the gate.
+* ``estimation_cache`` — cached-vs-``--no-cache`` speedup per benchmark
+  (a cache stops hitting, batching degrades to per-point work);
+* ``parallel_dse`` — the ``workers=2`` sharded sweep's
+  ``speedup_vs_serial`` (fork/scheduler overhead creeping in);
+* ``work_stealing`` — adaptive micro-shards vs the static split on the
+  straggler-skewed sweep (the streaming scheduler stops stealing; see
+  ``benchmarks/straggler.py``).
 
-Set ``REPRO_SKIP_PERF_GATE=1`` to skip the gate entirely, e.g. on
-heavily loaded or single-core runners where even ratios get noisy.
+A fresh ratio more than ``REGRESSION_TOLERANCE`` (30%) below its
+committed value fails the gate.  Set ``REPRO_SKIP_PERF_GATE=1`` to skip
+entirely, e.g. on heavily loaded runners where even ratios get noisy.
 
 Run from the repo root::
 
@@ -142,7 +144,7 @@ def measure_speedups(
 
 
 def load_baseline(path: Path = BENCH_JSON) -> Dict[str, float]:
-    """Committed speedup ratios from BENCH_table4.json, or {} if absent."""
+    """Committed estimation-cache speedups from BENCH_table4.json."""
     if not path.exists():
         return {}
     doc = json.loads(path.read_text())
@@ -153,26 +155,89 @@ def load_baseline(path: Path = BENCH_JSON) -> Dict[str, float]:
     }
 
 
+def load_runtime_baseline(path: Path = BENCH_JSON) -> Dict[str, float]:
+    """Committed parallel-DSE and work-stealing ratios, or {} if absent.
+
+    Keys are gate-report labels: ``parallel_dse.workers2`` is the
+    2-worker sharded sweep's speedup over the serial sweep,
+    ``work_stealing`` is the adaptive-vs-static ratio on the
+    straggler-skewed sweep.
+    """
+    if not path.exists():
+        return {}
+    doc = json.loads(path.read_text())
+    baseline: Dict[str, float] = {}
+    workers = doc.get("parallel_dse", {}).get("workers", {})
+    if "2" in workers:
+        baseline["parallel_dse.workers2"] = float(
+            workers["2"]["speedup_vs_serial"]
+        )
+    stealing = doc.get("work_stealing", {})
+    if "speedup" in stealing:
+        baseline["work_stealing"] = float(stealing["speedup"])
+    return baseline
+
+
+def measure_runtime_ratios(baseline: Dict[str, float]) -> Dict[str, float]:
+    """Fresh parallel-DSE / work-stealing ratios for the gated keys.
+
+    Reuses the exact measurement harness the Table IV benchmark commits
+    from (``benchmarks/straggler.py``), so committed and fresh ratios
+    come from the same protocol.
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    try:
+        from straggler import measure_parallel_dse, measure_work_stealing
+    finally:
+        sys.path.pop(0)
+    from repro.estimation import default_estimator
+
+    estimator = default_estimator()
+    measured: Dict[str, float] = {}
+    if "parallel_dse.workers2" in baseline:
+        rows = measure_parallel_dse(estimator, workers_list=(1, 2))
+        measured["parallel_dse.workers2"] = rows["2"]["speedup_vs_serial"]
+    if "work_stealing" in baseline:
+        measured["work_stealing"] = measure_work_stealing(estimator)[
+            "speedup"
+        ]
+    return measured
+
+
 def main(argv=None) -> int:
     """Entry point: 0 on pass/skip, 1 on regression."""
     if os.environ.get(SKIP_ENV):
         print(f"perf gate skipped ({SKIP_ENV} set)")
         return 0
-    baseline = load_baseline()
-    if not baseline:
+    cache_baseline = load_baseline()
+    runtime_baseline = load_runtime_baseline()
+    if not cache_baseline and not runtime_baseline:
         print(
-            "perf gate: no estimation_cache baseline in "
-            f"{BENCH_JSON.name}; run the Table IV benchmark to record one"
+            "perf gate: no gateable baselines in "
+            f"{BENCH_JSON.name}; run the Table IV benchmark to record them"
         )
         return 0
-    measured = measure_speedups(sorted(baseline))
-    ok, lines = evaluate(baseline, measured)
-    print(
-        "estimation hot-path perf gate "
-        f"(tolerance {REGRESSION_TOLERANCE:.0%} of committed speedup):"
-    )
-    for line in lines:
-        print(f"  {line}")
+    ok = True
+    if cache_baseline:
+        measured = measure_speedups(sorted(cache_baseline))
+        cache_ok, lines = evaluate(cache_baseline, measured)
+        ok = ok and cache_ok
+        print(
+            "estimation hot-path perf gate "
+            f"(tolerance {REGRESSION_TOLERANCE:.0%} of committed speedup):"
+        )
+        for line in lines:
+            print(f"  {line}")
+    if runtime_baseline:
+        measured = measure_runtime_ratios(runtime_baseline)
+        runtime_ok, lines = evaluate(runtime_baseline, measured)
+        ok = ok and runtime_ok
+        print(
+            "parallel-DSE / work-stealing perf gate "
+            f"(tolerance {REGRESSION_TOLERANCE:.0%} of committed ratio):"
+        )
+        for line in lines:
+            print(f"  {line}")
     if not ok:
         print(f"perf gate FAILED; set {SKIP_ENV}=1 to bypass")
     return 0 if ok else 1

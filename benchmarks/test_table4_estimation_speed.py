@@ -20,8 +20,11 @@ per worker count (with the host cpu count, so speedups stay honest) and
 asserts every parallel sweep enumerates exactly the serial point set.
 An ``estimation_cache`` section records the memoized+batched hot path
 against ``--no-cache`` on identical pre-built designs (bit-identical
-estimates, >=2x floor); ``benchmarks/perf_gate.py`` diffs fresh speedup
-ratios against the committed ones in CI.
+estimates, >=2x floor), and a ``work_stealing`` section records the
+adaptive micro-shard scheduler against a static ``shards == workers``
+split on a straggler-skewed sweep (>=1.2x floor; see
+``benchmarks/straggler.py``); ``benchmarks/perf_gate.py`` diffs fresh
+speedup ratios against the committed ones in CI.
 """
 
 import json
@@ -36,13 +39,13 @@ import pytest
 
 from repro import obs
 from repro.apps import all_benchmarks, get_benchmark
-from repro.dse import explore
 from repro.estimation import Estimator
 from repro.hls import HLSExplosionError, HLSTool
 from repro.ir import IRError
 from repro.runtime import DEFAULT_BATCH_SIZE, fork_available
 
 from conftest import write_result
+from straggler import measure_parallel_dse, measure_work_stealing
 
 N_OURS = 250
 N_RESTRICTED = 25
@@ -66,6 +69,11 @@ N_CACHE = 120
 CACHE_BENCHES = ("dotproduct", "gda")
 MIN_CACHE_SPEEDUP = 2.0
 CACHE_REPEATS = 3  # best-of-N wall times; scheduler noise never favors
+
+# Work-stealing floor: the adaptive schedule must beat the static
+# shards==workers split by at least this much on the straggler-skewed
+# sweep (see benchmarks/straggler.py for the skew construction).
+MIN_WS_SPEEDUP = 1.2
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_table4.json"
 
@@ -138,38 +146,21 @@ def test_table4_speeds(estimator, gda_points, results_dir):
 def _parallel_dse_section(estimator):
     """Measure sharded-explore throughput for each worker count.
 
-    Every run must enumerate the same point set as the serial sweep —
-    that determinism check is asserted here, not just recorded.  Speedup
-    numbers are honest: on a 1-core host all worker counts time out at
-    roughly 1.0x, so the host cpu count is committed alongside.
+    Delegates to :func:`straggler.measure_parallel_dse` (shared with the
+    CI perf gate): every run on a fresh empty-cache estimator, every run
+    asserted to enumerate exactly the serial point set.  Speedup numbers
+    are honest: on a 1-core host all worker counts land at roughly 1.0x,
+    so the host cpu count is committed alongside.
     """
-    bench = get_benchmark(PARALLEL_BENCH)
     try:
         cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         cpus = os.cpu_count() or 1
 
-    rows = {}
-    reference = None
-    serial_elapsed = None
-    for workers in PARALLEL_WORKERS:
-        start = time.perf_counter()
-        result = explore(bench, estimator, max_points=N_PARALLEL, seed=13,
-                         shards=PARALLEL_SHARDS, workers=workers)
-        elapsed = time.perf_counter() - start
-        fingerprint = [(p.params, p.cycles) for p in result.points]
-        if reference is None:
-            reference = fingerprint
-            serial_elapsed = elapsed
-        # Sharded/parallel sweeps must visit exactly the serial point set.
-        assert fingerprint == reference, (
-            f"workers={workers} diverged from the serial sweep"
-        )
-        rows[str(workers)] = {
-            "elapsed_s": elapsed,
-            "points_per_sec": len(result.points) / elapsed,
-            "speedup_vs_serial": serial_elapsed / elapsed,
-        }
+    rows = measure_parallel_dse(
+        estimator, PARALLEL_BENCH, N_PARALLEL,
+        workers_list=PARALLEL_WORKERS, shards=PARALLEL_SHARDS,
+    )
     return {
         "benchmark": PARALLEL_BENCH,
         "points": N_PARALLEL,
@@ -179,6 +170,26 @@ def _parallel_dse_section(estimator):
         "note": "speedup_vs_serial saturates at the committed cpu count",
         "workers": rows,
     }
+
+
+def _work_stealing_section(estimator):
+    """Adaptive micro-shard scheduler vs static split on a skewed sweep.
+
+    The ``>= MIN_WS_SPEEDUP`` floor is this PR's acceptance criterion;
+    the committed ratio is what ``benchmarks/perf_gate.py`` gates
+    against.
+    """
+    section = measure_work_stealing(estimator)
+    section["min_speedup"] = MIN_WS_SPEEDUP
+    assert section["speedup"] >= MIN_WS_SPEEDUP, (
+        f"adaptive schedule only {section['speedup']:.2f}x faster than "
+        f"the static split on a straggler-skewed sweep "
+        f"(floor {MIN_WS_SPEEDUP}x)"
+    )
+    assert section["adaptive"]["steals"] > 0, (
+        "adaptive run recorded no steals — the scheduler never streamed"
+    )
+    return section
 
 
 def _build_designs(bench_name, seed, count):
@@ -312,6 +323,7 @@ def _write_bench_json(estimator, gda_timings):
         "benchmarks": benches,
         "parallel_dse": _parallel_dse_section(estimator),
         "estimation_cache": _estimation_cache_section(estimator),
+        "work_stealing": _work_stealing_section(estimator),
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"\nwrote {BENCH_JSON}")

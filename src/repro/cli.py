@@ -5,9 +5,12 @@ Subcommands mirror the paper's flow:
 * ``repro list`` — Table II benchmark inventory;
 * ``repro estimate BENCH [--set k=v ...]`` — estimate one design point;
 * ``repro explore BENCH --points N`` — design space exploration + Pareto,
-  with ``--workers``/``--shards`` for the parallel engine and
-  ``--checkpoint-dir``/``--resume`` for kill/resume (see
+  with ``--workers``/``--shards``/``--auto-shards`` for the parallel
+  engine, ``--checkpoint-dir``/``--resume`` for kill/resume, and
+  ``--shard-range A:B`` for multi-host range sweeps (see
   ``docs/runtime.md``);
+* ``repro merge-checkpoints DIR`` — reunite a (multi-host) checkpoint
+  directory into the full point set and Pareto front, estimating nothing;
 * ``repro speedup BENCH`` — best design vs the modeled CPU (Figure 6);
 * ``repro codegen BENCH -o FILE`` — emit MaxJ for a design point;
 * ``repro power BENCH`` — power/energy estimate (extension);
@@ -35,10 +38,10 @@ from typing import Dict, List, Optional
 from . import obs
 from .apps import all_benchmarks, get_benchmark
 from .codegen import generate_maxj
-from .dse import explore
+from .dse import explore, merge_checkpoints
 from .estimation import Estimator, default_estimator
 from .estimation.power import estimate_power
-from .runtime import CheckpointError
+from .runtime import CheckpointError, ConservationError
 from .sim import simulate
 
 
@@ -133,8 +136,28 @@ def cmd_estimate(args, out, estimator: Optional[Estimator] = None) -> int:
     return 0
 
 
+def _parse_shard_range(text: str):
+    """Parse ``--shard-range A:B`` into an ``(A, B)`` half-open tuple."""
+    lo, sep, hi = text.partition(":")
+    if not sep:
+        raise SystemExit(
+            f"--shard-range expects A:B (half-open, e.g. 0:4), got {text!r}"
+        )
+    try:
+        bounds = (int(lo), int(hi))
+    except ValueError:
+        raise SystemExit(
+            f"--shard-range expects integer bounds A:B, got {text!r}"
+        ) from None
+    if bounds[0] < 0 or bounds[1] <= bounds[0]:
+        raise SystemExit(
+            f"--shard-range expects 0 <= A < B, got {text!r}"
+        )
+    return bounds
+
+
 def _parse_parallel_args(args):
-    """Validate --workers/--shards/--checkpoint-dir/--resume combinations."""
+    """Validate the --workers/--shards/--checkpoint-dir/... combinations."""
     if args.workers < 1:
         raise SystemExit(
             f"--workers expects a positive integer (got {args.workers}); "
@@ -143,8 +166,20 @@ def _parse_parallel_args(args):
     if args.shards is not None and args.shards < 1:
         raise SystemExit(
             f"--shards expects a positive integer (got {args.shards}); "
-            "omit it to default to one shard per worker"
+            "omit it to default to one shard per worker, or use "
+            "--auto-shards for cost-model micro-sharding"
         )
+    shards = args.shards
+    if getattr(args, "auto_shards", False):
+        if shards is not None:
+            raise SystemExit(
+                "--auto-shards and --shards are mutually exclusive: "
+                "pick a fixed shard count or let the cost model size them"
+            )
+        shards = "auto"
+    shard_range = None
+    if getattr(args, "shard_range", None):
+        shard_range = _parse_shard_range(args.shard_range)
     checkpoint_dir = args.checkpoint_dir
     resume = False
     if args.resume:
@@ -155,25 +190,52 @@ def _parse_parallel_args(args):
             )
         checkpoint_dir = args.resume
         resume = True
-    return checkpoint_dir, resume
+    if shard_range is not None and checkpoint_dir is None:
+        raise SystemExit(
+            "--shard-range requires --checkpoint-dir: ranged sweeps only "
+            "make sense when their shards land somewhere "
+            "'repro merge-checkpoints' can reunite them"
+        )
+    return shards, shard_range, checkpoint_dir, resume
+
+
+def _print_pareto(result, show: int, out) -> None:
+    """The explore/merge Pareto table (``--show`` rows)."""
+    print(f"{'cycles':>14s} {'ALMs':>9s} {'BRAMs':>6s}  params", file=out)
+    for point in result.pareto_sample(show):
+        print(
+            f"{point.cycles:14,.0f} {point.estimate.alms:9,} "
+            f"{point.estimate.brams:6,}  {point.params}",
+            file=out,
+        )
 
 
 def cmd_explore(args, out, estimator: Optional[Estimator] = None) -> int:
     """``repro explore``: sample the design space and print the Pareto front."""
-    checkpoint_dir, resume = _parse_parallel_args(args)
+    shards, shard_range, checkpoint_dir, resume = _parse_parallel_args(args)
     bench = get_benchmark(args.benchmark)
     estimator = _estimator_for(args, estimator)
     try:
         result = explore(
             bench, estimator, max_points=args.points, seed=args.seed,
-            shards=args.shards, workers=args.workers,
+            shards=shards, workers=args.workers,
             checkpoint_dir=checkpoint_dir, resume=resume,
+            shard_range=shard_range,
         )
     except CheckpointError as exc:
         raise SystemExit(str(exc)) from None
     parallel = ""
     if result.shards > 1 or result.workers > 1 or result.restored:
         parallel = f"; {result.shards} shards x {result.workers} workers"
+        if result.shard_range is not None:
+            lo, hi = result.shard_range
+            parallel += (
+                f" (range {lo}:{hi} of {result.total_shards} shards)"
+            )
+        if result.steals or result.requeued:
+            parallel += (
+                f"; {result.steals} steals, {result.requeued} requeued"
+            )
         if result.restored:
             parallel += f"; {result.restored} restored from checkpoint"
     print(
@@ -183,13 +245,7 @@ def cmd_explore(args, out, estimator: Optional[Estimator] = None) -> int:
         f"{len(result.pareto)} Pareto-optimal" + parallel,
         file=out,
     )
-    print(f"{'cycles':>14s} {'ALMs':>9s} {'BRAMs':>6s}  params", file=out)
-    for point in result.pareto_sample(args.show):
-        print(
-            f"{point.cycles:14,.0f} {point.estimate.alms:9,} "
-            f"{point.estimate.brams:6,}  {point.params}",
-            file=out,
-        )
+    _print_pareto(result, args.show, out)
     if args.csv:
         import csv
 
@@ -204,6 +260,32 @@ def cmd_explore(args, out, estimator: Optional[Estimator] = None) -> int:
                     + [p.params[k] for k in names]
                 )
         print(f"wrote {len(result.points)} points to {args.csv}", file=out)
+    return 0
+
+
+def cmd_merge_checkpoints(
+    args, out, estimator: Optional[Estimator] = None
+) -> int:
+    """``repro merge-checkpoints``: reunite a checkpoint dir, estimate nothing.
+
+    The collection step of a multi-host sweep: after N hosts ran
+    ``repro explore ... --shard-range`` into one shared directory, this
+    loads every shard file, re-plans the manifest's full partition, and
+    prints the same summary/Pareto table a single-host explore would
+    have. A missing range or duplicated shard fails loudly.
+    """
+    estimator = _estimator_for(args, estimator)
+    try:
+        result = merge_checkpoints(args.directory, estimator)
+    except (CheckpointError, ConservationError) as exc:
+        raise SystemExit(str(exc)) from None
+    print(
+        f"merged {len(result.points)} points from {result.shards} shards "
+        f"in {args.directory}; {len(result.valid_points)} fit; "
+        f"{len(result.pareto)} Pareto-optimal",
+        file=out,
+    )
+    _print_pareto(result, args.show, out)
     return 0
 
 
@@ -374,17 +456,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shards", type=int, default=None,
                    help="sampling shards (default: one per worker; any "
                    "value yields identical points for a fixed seed)")
+    p.add_argument("--auto-shards", action="store_true",
+                   help="size micro-shards from the runtime cost model "
+                   "(shards >> workers, enables work stealing)")
+    p.add_argument("--shard-range", metavar="A:B",
+                   help="sweep only shards A..B-1 of the full partition "
+                   "(multi-host: disjoint ranges into one "
+                   "--checkpoint-dir, then 'repro merge-checkpoints')")
     p.add_argument("--checkpoint-dir", metavar="DIR",
                    help="write per-shard JSONL checkpoints to DIR")
     p.add_argument("--resume", metavar="DIR",
                    help="resume a killed sweep from DIR's checkpoints "
                    "(skips completed work)")
 
+    p = sub.add_parser(
+        "merge-checkpoints",
+        help="merge a (multi-host) checkpoint directory into the full "
+        "point set — no estimation",
+        parents=[obs_flags, cache_flags],
+    )
+    p.add_argument("directory", metavar="DIR",
+                   help="checkpoint directory written by one or more "
+                   "'repro explore --checkpoint-dir' runs")
+    p.add_argument("--show", type=int, default=8,
+                   help="Pareto points to print")
+
     p = sub.add_parser("speedup", help="best design vs the CPU baseline",
                        parents=[obs_flags, cache_flags])
     add_bench(p)
     p.add_argument("--points", type=int, default=1000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--sim-trace", metavar="FILE.json",
+                   help="write a simulated-time Chrome trace of the best "
+                   "design's controller schedule (1 cycle = 1 us tick; "
+                   "open in https://ui.perfetto.dev)")
 
     p = sub.add_parser("codegen", help="emit MaxJ for a design point",
                        parents=[obs_flags])
@@ -421,6 +526,8 @@ def _dispatch(args, out, estimator: Optional[Estimator]) -> int:
         return cmd_estimate(args, out, estimator)
     if args.command == "explore":
         return cmd_explore(args, out, estimator)
+    if args.command == "merge-checkpoints":
+        return cmd_merge_checkpoints(args, out, estimator)
     if args.command == "speedup":
         return cmd_speedup(args, out, estimator)
     if args.command == "codegen":
@@ -441,17 +548,21 @@ def main(argv: Optional[List[str]] = None, out=None,
     out = out or sys.stdout
     trace_file = getattr(args, "trace", None)
     stream_file = getattr(args, "trace_jsonl", None)
+    sim_trace_file = getattr(args, "sim_trace", None)
     span_cap = getattr(args, "span_cap", None)
     if span_cap is not None and span_cap < 0:
         raise SystemExit(
             f"--span-cap expects a non-negative integer (got {span_cap})"
         )
     want_metrics = bool(getattr(args, "metrics", False))
-    if not (trace_file or stream_file or want_metrics):
+    if not (trace_file or stream_file or sim_trace_file or want_metrics):
         return _dispatch(args, out, estimator)
 
     obs.reset()
-    obs.enable(trace=bool(trace_file or stream_file), metrics=want_metrics)
+    obs.enable(
+        trace=bool(trace_file or stream_file or sim_trace_file),
+        metrics=want_metrics,
+    )
     stream = None
     if stream_file:
         stream = obs.stream_to_jsonl(stream_file, span_cap=span_cap)
@@ -477,6 +588,16 @@ def main(argv: Optional[List[str]] = None, out=None,
             print(
                 f"wrote {len(obs.tracer().spans)} spans to {trace_file} "
                 "(open in chrome://tracing or https://ui.perfetto.dev)",
+                file=out,
+            )
+        if sim_trace_file:
+            written = obs.write_sim_chrome_trace(
+                obs.tracer(), sim_trace_file
+            )
+            print(
+                f"wrote {written} simulated-time slices to "
+                f"{sim_trace_file} (1 cycle = 1 us; open in "
+                "https://ui.perfetto.dev)",
                 file=out,
             )
         obs.tracer().span_cap = None

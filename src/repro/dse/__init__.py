@@ -5,6 +5,7 @@ from .explorer import (
     DesignPoint,
     ExplorationResult,
     explore,
+    merge_checkpoints,
 )
 from .pareto import dominates, is_pareto_optimal, pareto_front, pareto_front_nd
 from .search import SearchResult, local_search
@@ -16,6 +17,7 @@ __all__ = [
     "dominates",
     "explore",
     "is_pareto_optimal",
+    "merge_checkpoints",
     "pareto_front",
     "pareto_front_nd",
     "SearchResult",

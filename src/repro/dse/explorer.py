@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from .. import obs
 from ..apps.registry import Benchmark, Dataset
@@ -37,7 +37,9 @@ from ..runtime import (
     DEFAULT_BATCH_SIZE,
     CheckpointStore,
     merge_outcomes,
+    outcomes_from_states,
     plan_shards,
+    read_manifest,
     run_plan,
 )
 from .pareto import pareto_front
@@ -82,6 +84,10 @@ class ExplorationResult:
     shards: int = 1
     workers: int = 1
     restored: int = 0
+    total_shards: int = 0  # full partition size (== shards unless ranged)
+    shard_range: Optional[Tuple[int, int]] = None
+    steals: int = 0
+    requeued: int = 0
 
     @property
     def valid_points(self) -> List[DesignPoint]:
@@ -123,20 +129,33 @@ def explore(
     max_points: int = DEFAULT_MAX_POINTS,
     seed: int = 1,
     progress_every: int = PROGRESS_EVERY,
-    shards: Optional[int] = None,
+    shards: Optional[Union[int, str]] = None,
     workers: int = 1,
     checkpoint_dir: Optional[Union[str, Path]] = None,
     resume: bool = False,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    shard_range: Optional[Tuple[int, int]] = None,
+    tail_split: bool = True,
 ) -> ExplorationResult:
     """Explore ``benchmark``'s design space with ``estimator``.
 
     ``shards`` defaults to ``workers`` (one shard per worker); any
     explicit value yields the same points and Pareto front, only
-    different heartbeat/checkpoint granularity. ``workers > 1`` forks a
-    process pool after the estimator is trained. ``checkpoint_dir``
-    writes per-shard JSONL checkpoints there; ``resume=True`` restores
-    completed work from that directory instead of re-estimating it.
+    different heartbeat/checkpoint granularity. ``shards="auto"`` sizes
+    micro-shards ≫ workers from the runtime's cost model so the
+    streaming scheduler can work-steal around expensive regions
+    (``tail_split`` additionally re-splits the final straggler in
+    flight). ``workers > 1`` forks a process pool after the estimator is
+    trained. ``checkpoint_dir`` writes per-shard JSONL checkpoints
+    there; ``resume=True`` restores completed work from that directory
+    instead of re-estimating it.
+
+    ``shard_range=(lo, hi)`` sweeps only shards ``lo..hi-1`` of the full
+    partition — the multi-host knob: disjoint ranges on different hosts,
+    checkpointing into one directory, tile the serial point set exactly
+    and are reunited by :func:`merge_checkpoints`. A ranged result's
+    points/Pareto cover just that range; conservation is enforced over
+    the range.
 
     When the estimator caches (the default), each shard estimates fresh
     designs in blocks of ``batch_size`` through the vectorized
@@ -152,15 +171,23 @@ def explore(
         shards = workers
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
+    if shard_range is not None and checkpoint_dir is None:
+        raise ValueError(
+            "shard_range requires checkpoint_dir — a ranged sweep is only "
+            "useful if its shards land somewhere a merge can find them"
+        )
 
     dataset = dataset or benchmark.default_dataset()
     space = benchmark.param_space(dataset)
 
     with obs.span(
         "explore", bench=benchmark.name, budget=max_points, seed=seed,
-        shards=shards, workers=workers,
+        shards=str(shards), workers=workers,
     ) as sp:
-        plan = plan_shards(space, seed, max_points, shards)
+        plan = plan_shards(
+            space, seed, max_points, shards,
+            shard_range=shard_range, workers=workers,
+        )
         obs.counter("dse.points.sampled").inc(plan.total_points)
 
         store = (
@@ -171,6 +198,7 @@ def explore(
             benchmark, estimator, dataset, plan,
             workers=workers, store=store, resume=resume,
             progress_every=progress_every, batch_size=batch_size,
+            tail_split=tail_split,
         )
         records, conservation = merge_outcomes(plan, run.outcomes)
         conservation.verify()
@@ -184,6 +212,10 @@ def explore(
             shards=plan.n_shards,
             workers=run.workers,
             restored=run.restored,
+            total_shards=plan.planned_shards,
+            shard_range=plan.shard_range,
+            steals=run.steals,
+            requeued=run.requeued,
         )
         result.points = [
             DesignPoint(r.params, r.estimate)
@@ -193,6 +225,62 @@ def explore(
             points=len(result.points),
             valid=sum(1 for p in result.points if p.valid),
             restored=run.restored,
+            steals=run.steals,
             elapsed_s=round(result.elapsed_seconds, 6),
+        )
+    return result
+
+
+def merge_checkpoints(
+    directory: Union[str, Path],
+    estimator: Estimator,
+) -> ExplorationResult:
+    """Merge a (possibly multi-host) checkpoint directory, estimating nothing.
+
+    Reads the run manifest, re-plans the full shard partition from it,
+    loads every shard file — however many hosts' ``--shard-range`` runs
+    produced them — and reassembles the global point list under the
+    Conservation ledger. The result is bit-identical to the serial sweep
+    the manifest describes; a missing range or a duplicated shard is a
+    :class:`~repro.runtime.ConservationError`, never a silently smaller
+    front.
+    """
+    from ..apps import get_benchmark
+
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    benchmark = get_benchmark(manifest["benchmark"])
+    dataset = dict(manifest["dataset"])
+    with obs.span(
+        "merge_checkpoints", bench=benchmark.name, dir=str(directory),
+    ) as sp:
+        space = benchmark.param_space(dataset)
+        plan = plan_shards(
+            space, manifest["seed"], manifest["max_points"],
+            manifest["shards"],
+        )
+        store = CheckpointStore(directory)
+        states = store.load(benchmark.name, dataset, plan)
+        store.hydrate(states, estimator.board)
+        records, conservation = merge_outcomes(
+            plan, outcomes_from_states(plan, states)
+        )
+        conservation.verify()
+        result = ExplorationResult(
+            benchmark=benchmark.name,
+            dataset=dataset,
+            space_cardinality=plan.space_cardinality,
+            legal_sampled=plan.total_points,
+            shards=plan.n_shards,
+            restored=conservation.restored,
+            total_shards=plan.planned_shards,
+        )
+        result.points = [
+            DesignPoint(r.params, r.estimate)
+            for r in records if not r.illegal
+        ]
+        sp.set(
+            points=len(result.points),
+            hosts=len(store.host_manifests()),
         )
     return result

@@ -32,8 +32,10 @@ from .sinks import (
     JsonlStreamWriter,
     span_summary,
     to_chrome_trace,
+    to_sim_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_sim_chrome_trace,
 )
 from .trace import NULL_SPAN, InstantEvent, Span, Tracer
 
@@ -63,10 +65,12 @@ __all__ = [
     "stream_to_jsonl",
     "timed",
     "to_chrome_trace",
+    "to_sim_chrome_trace",
     "trace_enabled",
     "tracer",
     "write_chrome_trace",
     "write_jsonl",
+    "write_sim_chrome_trace",
 ]
 
 #: Default in-memory retention when streaming: enough for summaries,

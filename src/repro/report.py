@@ -162,7 +162,10 @@ def _metrics_section(estimator: Optional[Estimator] = None) -> List[str]:
         "Per-pass latency histograms (`pass.*`) decompose Table IV's",
         "per-design estimation time; `dse.*` counters census the sampled",
         "spaces; `estimator.cache.*` and `estimation.cache.*` counters",
-        "explain how much of the sweep the memoization layer absorbed.",
+        "explain how much of the sweep the memoization layer absorbed;",
+        "`dram.*` counters/histograms (transfers, bytes, contention",
+        "cycles, interleave efficiency) show how much simulated memory",
+        "time was queueing behind sibling streams.",
         "See docs/observability.md and docs/estimation_performance.md.",
         "",
         "```",

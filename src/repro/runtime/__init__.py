@@ -27,12 +27,14 @@ from .checkpoint import (
     estimate_from_doc,
     estimate_to_doc,
     load_summary,
+    read_manifest,
 )
 from .merge import (
     Conservation,
     ConservationError,
     merge_outcomes,
     merge_pareto_fronts,
+    outcomes_from_states,
 )
 from .pool import (
     DEFAULT_BATCH_SIZE,
@@ -42,17 +44,29 @@ from .pool import (
     run_plan,
     run_shard,
 )
-from .sharding import Shard, ShardPlan, plan_shards, shard_seed
+from .sharding import (
+    DEFAULT_COST_MODEL,
+    DEFAULT_OVERSUBSCRIPTION,
+    Shard,
+    ShardCostModel,
+    ShardPlan,
+    plan_shards,
+    resolve_shard_count,
+    shard_seed,
+)
 
 __all__ = [
     "CheckpointError",
     "CheckpointStore",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_COST_MODEL",
+    "DEFAULT_OVERSUBSCRIPTION",
     "Conservation",
     "ConservationError",
     "PointRecord",
     "RunOutcome",
     "Shard",
+    "ShardCostModel",
     "ShardOutcome",
     "ShardPlan",
     "ShardWriter",
@@ -62,7 +76,10 @@ __all__ = [
     "load_summary",
     "merge_outcomes",
     "merge_pareto_fronts",
+    "outcomes_from_states",
     "plan_shards",
+    "read_manifest",
+    "resolve_shard_count",
     "run_plan",
     "run_shard",
     "shard_seed",

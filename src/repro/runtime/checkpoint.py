@@ -16,12 +16,22 @@ are never re-estimated; partial shards re-estimate only their missing
 global indices and append to the same file. JSON round-trips floats
 exactly (shortest-repr), so a resumed Pareto front is byte-identical to
 an uninterrupted run's.
+
+The manifest always describes the *global* run (full shard partition and
+point count), even when the writing plan covers only a shard range: N
+hosts sweeping disjoint ``--shard-range`` subsets into one directory all
+write/validate the same manifest, and each additionally drops a
+host-tagged sidecar (``host-<lo>-<hi>.json``) recording which range it
+owned. ``repro merge-checkpoints`` reads the manifest back, re-plans the
+full partition, and merges every shard file under the Conservation
+ledger — the multi-host merge protocol (see ``docs/runtime.md``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import platform
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, IO, List, Optional, Tuple, Union
@@ -205,16 +215,51 @@ class CheckpointStore:
     def _manifest_doc(
         self, benchmark: str, dataset: Dict[str, int], plan: ShardPlan
     ) -> Dict[str, object]:
+        # Always the *global* run: a ranged plan writes the same manifest
+        # as every other host of the same split, so any of them (or the
+        # merge tool) can validate against it.
         return {
-            "schema": 1,
+            "schema": 2,
             "benchmark": benchmark,
             "dataset": dict(dataset),
             "seed": plan.seed,
             "max_points": plan.max_points,
-            "shards": plan.n_shards,
-            "total_points": plan.total_points,
+            "shards": plan.planned_shards,
+            "total_points": plan.global_points,
             "space_cardinality": plan.space_cardinality,
         }
+
+    def _host_tag(self, plan: ShardPlan) -> str:
+        lo, hi = plan.shard_range or (0, plan.planned_shards)
+        return f"{lo:04d}-{hi:04d}"
+
+    def host_manifest_path(self, plan: ShardPlan) -> Path:
+        """Path of the host sidecar for ``plan``'s shard range."""
+        return self.directory / f"host-{self._host_tag(plan)}.json"
+
+    def _write_host_manifest(self, plan: ShardPlan) -> None:
+        lo, hi = plan.shard_range or (0, plan.planned_shards)
+        doc = {
+            "schema": 2,
+            "host": platform.node() or "local",
+            "pid": os.getpid(),
+            "shard_range": [lo, hi],
+            "shards": [s.index for s in plan.shards],
+            "points": plan.total_points,
+        }
+        self.host_manifest_path(plan).write_text(
+            json.dumps(doc, indent=2) + "\n"
+        )
+
+    def host_manifests(self) -> List[Dict[str, object]]:
+        """All host sidecars in the directory, ordered by shard range."""
+        docs = []
+        for path in sorted(self.directory.glob("host-*.json")):
+            try:
+                docs.append(json.loads(path.read_text()))
+            except json.JSONDecodeError:
+                continue  # a torn sidecar never blocks a merge
+        return docs
 
     def begin(
         self,
@@ -225,23 +270,67 @@ class CheckpointStore:
     ) -> Dict[int, ShardState]:
         """Prepare the directory and return per-shard restored state.
 
-        Fresh runs (``resume=False``) write the manifest and truncate any
-        stale shard files. Resumed runs require a matching manifest and
-        load every readable record; a trailing half-written line (the
-        kill point) is ignored, not an error.
+        Fresh runs (``resume=False``) write the manifest and truncate
+        stale files for the plan's *own* shards only — a host assigned a
+        shard range never clobbers its siblings' shard files. When a
+        manifest from the same global run already exists (another host
+        got there first) it is left in place; a mismatched one is a
+        :class:`CheckpointError` rather than a silent overwrite. Resumed
+        runs require a matching manifest and load every readable record;
+        a trailing half-written line (the kill point) is ignored, not an
+        error.
         """
         self.directory.mkdir(parents=True, exist_ok=True)
         if resume:
-            return self._load(benchmark, dataset, plan)
+            states = self._load(benchmark, dataset, plan)
+            self._write_host_manifest(plan)
+            return states
+        expected = self._manifest_doc(benchmark, dataset, plan)
+        if self.manifest_path.exists():
+            mismatched = self._mismatched_keys(expected)
+            if mismatched and plan.is_partial:
+                raise CheckpointError(
+                    f"checkpoint in {self.directory} belongs to a "
+                    "different run "
+                    f"({self._mismatch_detail(expected, mismatched)}); "
+                    "refusing to add this shard range to it"
+                )
         self.manifest_path.write_text(
-            json.dumps(self._manifest_doc(benchmark, dataset, plan), indent=2)
-            + "\n"
+            json.dumps(expected, indent=2) + "\n"
         )
+        self._write_host_manifest(plan)
         for shard in plan.shards:
             path = self.shard_path(shard.index)
             if path.exists():
                 path.unlink()
         return {shard.index: ShardState() for shard in plan.shards}
+
+    def _mismatched_keys(self, expected: Dict[str, object]) -> List[str]:
+        manifest = json.loads(self.manifest_path.read_text())
+        return [
+            key for key in expected
+            if manifest.get(key) != expected[key]
+        ]
+
+    def _mismatch_detail(
+        self, expected: Dict[str, object], mismatched: List[str]
+    ) -> str:
+        manifest = json.loads(self.manifest_path.read_text())
+        return ", ".join(
+            f"{k}: checkpoint={manifest.get(k)!r} vs run={expected[k]!r}"
+            for k in mismatched
+        )
+
+    def load(
+        self, benchmark: str, dataset: Dict[str, int], plan: ShardPlan
+    ) -> Dict[int, ShardState]:
+        """Validate the manifest and load ``plan``'s shard states.
+
+        The read path behind both ``--resume`` and ``merge-checkpoints``;
+        raises :class:`CheckpointError` on a missing or mismatched
+        manifest.
+        """
+        return self._load(benchmark, dataset, plan)
 
     def _load(
         self, benchmark: str, dataset: Dict[str, int], plan: ShardPlan
@@ -251,20 +340,14 @@ class CheckpointStore:
                 f"no checkpoint manifest in {self.directory} — "
                 "was this directory written by 'explore --checkpoint-dir'?"
             )
-        manifest = json.loads(self.manifest_path.read_text())
         expected = self._manifest_doc(benchmark, dataset, plan)
-        mismatched = [
-            key for key in expected
-            if manifest.get(key) != expected[key]
-        ]
+        mismatched = self._mismatched_keys(expected)
         if mismatched:
-            detail = ", ".join(
-                f"{k}: checkpoint={manifest.get(k)!r} vs run={expected[k]!r}"
-                for k in mismatched
-            )
             raise CheckpointError(
                 f"checkpoint in {self.directory} was written by a "
-                f"different run ({detail}); refusing to resume"
+                f"different run "
+                f"({self._mismatch_detail(expected, mismatched)}); "
+                "refusing to resume"
             )
         states: Dict[int, ShardState] = {}
         for shard in plan.shards:
@@ -328,6 +411,59 @@ class CheckpointStore:
             append=append,
             flush_every=self.flush_every,
         )
+
+    def piece_writer(self, shard: Shard) -> ShardWriter:
+        """Writer for one *piece* of a split shard (see ``pool.py``).
+
+        Pieces of the same shard run in different worker processes and
+        append to the same JSONL file, so every line is flushed
+        individually — each line lands as one atomic O_APPEND write and
+        concurrent pieces can never interleave bytes mid-line.
+        """
+        return ShardWriter(
+            self.shard_path(shard.index), append=True, flush_every=1
+        )
+
+    def prepare_split(self, shard: Shard, preserve: bool) -> None:
+        """Make a shard file appendable by concurrent pieces.
+
+        ``preserve=False`` (no prior records to keep) truncates once in
+        the parent so no piece has to — two pieces opening with ``"w"``
+        would race and drop each other's records.
+        """
+        path = self.shard_path(shard.index)
+        if not preserve:
+            path.write_text("")
+        elif not path.exists():
+            path.touch()
+
+    def finish(self, shard: Shard) -> None:
+        """Append a shard's terminal ``done`` marker from the parent.
+
+        Used for split shards, whose pieces cannot individually know the
+        shard completed.
+        """
+        with ShardWriter(
+            self.shard_path(shard.index), append=True, flush_every=1
+        ) as writer:
+            writer.done(shard)
+
+
+def read_manifest(directory: Union[str, Path]) -> Dict[str, object]:
+    """Read a checkpoint directory's run manifest.
+
+    The entry point for merge-only tooling (``repro merge-checkpoints``):
+    the manifest names the benchmark, dataset, seed, budget, and global
+    shard count, which is everything needed to re-plan the partition and
+    validate the union of shard files against it.
+    """
+    manifest_path = Path(directory) / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise CheckpointError(
+            f"no checkpoint manifest in {directory} — was this directory "
+            "written by 'explore --checkpoint-dir'?"
+        )
+    return json.loads(manifest_path.read_text())
 
 
 def load_summary(directory: Union[str, Path]) -> Dict[str, object]:

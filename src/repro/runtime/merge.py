@@ -22,11 +22,35 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence, Tuple, TypeVar
 
-from .checkpoint import PointRecord
+from .checkpoint import PointRecord, ShardState
 from .pool import ShardOutcome
 from .sharding import ShardPlan
 
 T = TypeVar("T")
+
+
+def outcomes_from_states(
+    plan: ShardPlan, states: Dict[int, "ShardState"]
+) -> List[ShardOutcome]:
+    """Wrap checkpoint-restored shard states as mergeable outcomes.
+
+    The merge-only path (``repro merge-checkpoints``): nothing is
+    estimated, every record counts as restored, and :func:`merge_outcomes`
+    plus :meth:`Conservation.verify` then prove the union of the shard
+    files is exactly the planned point set — any missing or duplicated
+    index (an absent host, a half-swept range) is a hard error.
+    """
+    outcomes: List[ShardOutcome] = []
+    for shard in plan.shards:
+        state = states.get(shard.index, ShardState())
+        outcome = ShardOutcome(
+            shard=shard.index,
+            planned=len(shard),
+            records=sorted(state.records.values(), key=lambda r: r.index),
+            restored=len(state.records),
+        )
+        outcomes.append(outcome)
+    return outcomes
 
 
 class ConservationError(RuntimeError):

@@ -14,37 +14,62 @@ state per point — so the pool's job is mostly plumbing:
   parent replays into the same :mod:`repro.obs` instruments, and each
   completed shard emits a ``dse.shard.done`` heartbeat instant.
 
+The parallel path is a *streaming* scheduler, not a static assignment:
+at most ``workers`` shard pieces are in flight at once, and the rest sit
+in a parent-side queue that free workers drain — natural work stealing,
+so micro-shard plans (``shards="auto"``, shard count ≫ workers) keep
+every worker busy even when one contiguous region of the sample is far
+more expensive than the rest. Dispatches beyond each worker's initial
+shard are counted as ``dse.steal``; when the queue runs dry with idle
+workers left, the largest queued shard is re-split in flight into pieces
+(``dse.shard.requeued``) so the final straggler tail parallelizes too.
+Per-worker busy fractions land in ``dse.worker.*.utilization`` gauges.
+
 Platforms without ``fork`` (Windows, macOS spawn default) fall back to
 the serial path rather than re-training one estimator per worker; the
 engine reports the effective worker count so callers can see that.
 
 Checkpointing is per shard: workers append to their own JSONL file
 (:mod:`repro.runtime.checkpoint`), so there is no cross-process file
-contention, and a resumed run only estimates indices missing from the
-files.
+contention. Pieces of a re-split shard share that shard's file through
+line-atomic O_APPEND writes, and the parent appends the terminal
+``done`` marker once every piece has finished; a resumed run only
+estimates indices missing from the files either way.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from .. import obs
 from ..estimation.cache import MISS, point_key
 from ..ir.node import IRError
 from .checkpoint import CheckpointStore, PointRecord, ShardState
-from .sharding import Shard, ShardPlan
+from .sharding import DEFAULT_COST_MODEL, MIN_POINTS_PER_SHARD, Shard, ShardPlan
 
 # Designs estimated per estimate_many() call on the cached/batched path.
 DEFAULT_BATCH_SIZE = 32
 
+# An in-flight tail re-split only happens when the straggler still has at
+# least this many points per resulting piece.
+MIN_SPLIT_POINTS = MIN_POINTS_PER_SHARD
+
 
 @dataclass
 class ShardOutcome:
-    """The result of running one shard: fresh records plus bookkeeping."""
+    """The result of running one shard: fresh records plus bookkeeping.
+
+    ``worker`` is the executing worker's pid in forked runs (0 for the
+    in-process path); the scheduler aggregates per-worker busy time from
+    it. For a shard run as several pieces, ``elapsed_s`` sums the
+    pieces' busy time (work, not wall-clock).
+    """
 
     shard: int
     planned: int
@@ -52,6 +77,7 @@ class ShardOutcome:
     elapsed_s: float = 0.0
     estimated: int = 0
     restored: int = 0
+    worker: int = 0
 
 
 @dataclass
@@ -61,6 +87,8 @@ class RunOutcome:
     outcomes: List[ShardOutcome] = field(default_factory=list)
     workers: int = 1
     elapsed_s: float = 0.0
+    steals: int = 0
+    requeued: int = 0
 
     @property
     def estimated(self) -> int:
@@ -82,12 +110,16 @@ def run_shard(
     skip: Optional[Set[int]] = None,
     on_point: Optional[Callable[[PointRecord], None]] = None,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    mark_done: bool = True,
 ) -> ShardOutcome:
     """Estimate every point of ``shard`` not in ``skip``.
 
     Runs in the parent (serial path) or inside a forked worker (parallel
     path). ``writer`` receives each fresh record for checkpointing;
     ``on_point`` is the serial path's per-point observability hook.
+    ``mark_done=False`` suppresses the terminal checkpoint marker — used
+    for pieces of a split shard, whose completion only the parent can
+    declare.
 
     When the estimator carries an
     :class:`~repro.estimation.cache.EstimationCaches` bundle, points are
@@ -132,7 +164,7 @@ def run_shard(
                                      time.perf_counter() - t0)
             emit(record)
     outcome.records.sort(key=lambda r: r.index)
-    if writer is not None:
+    if writer is not None and mark_done:
         writer.done(shard)
     outcome.elapsed_s = time.perf_counter() - start
     return outcome
@@ -206,25 +238,47 @@ def _worker_init() -> None:
     obs.disable()
 
 
-def _worker_run_shard(index: int) -> ShardOutcome:
-    """Run one shard inside a forked worker (reads the fork snapshot)."""
+def _worker_run_piece(
+    index: int, lo: int, hi: int, split: bool
+) -> ShardOutcome:
+    """Run points ``[lo, hi)`` of shard ``index`` inside a forked worker.
+
+    ``split=False`` means the piece is the whole shard (the common case):
+    it gets the ordinary buffered writer and writes its own ``done``
+    marker. ``split=True`` pieces share the shard's file with concurrent
+    siblings, so they use the line-atomic appending writer and leave the
+    ``done`` marker to the parent. Shard data comes from the fork
+    snapshot; only the four scalars cross the process boundary.
+    """
     state = _FORK_STATE
     assert state is not None, "worker started without fork state"
     shard: Shard = state["shards"][index]  # type: ignore[index]
     store: Optional[CheckpointStore] = state["store"]  # type: ignore[assignment]
     skip: Set[int] = state["skip"].get(index, set())  # type: ignore[union-attr]
+    piece = shard if (lo == 0 and hi == len(shard)) else Shard(
+        index=shard.index,
+        start=shard.start + lo,
+        points=shard.points[lo:hi],
+        seed=shard.seed,
+    )
     writer = None
     if store is not None:
-        writer = store.writer(shard, append=bool(skip))
+        writer = (
+            store.piece_writer(piece) if split
+            else store.writer(shard, append=bool(skip))
+        )
     try:
-        return run_shard(
+        outcome = run_shard(
             state["benchmark"], state["estimator"], state["dataset"],
-            shard, writer=writer, skip=skip,
+            piece, writer=writer, skip=skip,
             batch_size=state["batch_size"],  # type: ignore[arg-type]
+            mark_done=not split,
         )
     finally:
         if writer is not None:
             writer.close()
+    outcome.worker = os.getpid()
+    return outcome
 
 
 def fork_available() -> bool:
@@ -307,13 +361,18 @@ def run_plan(
     resume: bool = False,
     progress_every: int = 1000,
     batch_size: int = DEFAULT_BATCH_SIZE,
+    tail_split: bool = True,
 ) -> RunOutcome:
     """Execute ``plan``: estimate every non-restored point, in order.
 
     Returns one :class:`ShardOutcome` per shard (in shard order) whose
     records include both fresh and checkpoint-restored points, sorted by
     global index — the merge layer's input. ``batch_size`` controls the
-    cached/batched estimation block size (see :func:`run_shard`).
+    cached/batched estimation block size (see :func:`run_shard`);
+    ``tail_split`` enables the in-flight re-split of the final straggler
+    tail on the parallel path. Completed shards feed the process-wide
+    :data:`~repro.runtime.sharding.DEFAULT_COST_MODEL`, which future
+    ``shards="auto"`` plans consult.
     """
     if not isinstance(workers, int) or isinstance(workers, bool):
         raise ValueError(f"workers must be a positive integer, got {workers!r}")
@@ -357,9 +416,10 @@ def run_plan(
                 skip.get(shard.index, set()), heartbeat, batch_size,
             )
     elif pending:
-        _run_shards_forked(
+        run.steals, run.requeued = _run_shards_forked(
             benchmark, estimator, dataset, plan, pending, store, skip,
             effective_workers, heartbeat, outcomes, batch_size,
+            tail_split=tail_split,
         )
 
     # Fold restored records back in and finish per-shard bookkeeping.
@@ -373,6 +433,9 @@ def run_plan(
                 heartbeat.point(record, quiet=True)
         outcome.records.sort(key=lambda r: r.index)
         run.outcomes.append(outcome)
+        if outcome.estimated:
+            # Seed the adaptive shard sizer for future "auto" plans.
+            DEFAULT_COST_MODEL.observe(outcome.estimated, outcome.elapsed_s)
     run.elapsed_s = time.perf_counter() - start
     return run
 
@@ -396,15 +459,173 @@ def _run_shard_inline(
     return outcome
 
 
+@dataclass
+class _WorkItem:
+    """One schedulable unit: a contiguous piece of a shard's points."""
+
+    shard: Shard
+    lo: int  # offset within shard.points
+    hi: int
+    split: bool = False  # True when the shard was re-split into pieces
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+
+class _Scheduler:
+    """Streaming dispatch of shard pieces to a forked worker pool.
+
+    Keeps at most ``workers`` pieces in flight; everything else waits in
+    a parent-side deque that free workers drain (work stealing via the
+    executor queue). When the deque runs dry while workers sit idle, the
+    largest queued item is re-split so the straggler tail parallelizes.
+    """
+
+    def __init__(self, pool, workers: int, pending: List[Shard],
+                 store, skip, heartbeat, tail_split: bool) -> None:
+        self._pool = pool
+        self._workers = workers
+        self._store = store
+        self._skip = skip
+        self._heartbeat = heartbeat
+        self._tail_split = tail_split
+        self._queue: Deque[_WorkItem] = deque(
+            _WorkItem(shard, 0, len(shard)) for shard in pending
+        )
+        self._inflight: Dict[object, _WorkItem] = {}
+        self._pieces: Dict[int, List[ShardOutcome]] = {}
+        self._pieces_open: Dict[int, int] = {}
+        self._busy_s: Dict[int, float] = {}
+        self._dispatched = 0
+        self.steals = 0
+        self.requeued = 0
+
+    def run(self, outcomes: Dict[int, ShardOutcome]) -> None:
+        """Drive the queue to completion, filling ``outcomes``."""
+        start = time.perf_counter()
+        self._maybe_split_tail()  # a plan with fewer shards than workers
+        self._fill()
+        while self._inflight:
+            done, _ = wait(self._inflight, return_when=FIRST_COMPLETED)
+            for future in done:
+                item = self._inflight.pop(future)
+                self._collect(item, future.result(), outcomes)
+            self._maybe_split_tail()
+            self._fill()
+        self._report_utilization(time.perf_counter() - start)
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _fill(self) -> None:
+        while self._queue and len(self._inflight) < self._workers:
+            item = self._queue.popleft()
+            index = item.shard.index
+            self._pieces_open[index] = self._pieces_open.get(index, 0) + 1
+            future = self._pool.submit(
+                _worker_run_piece, index, item.lo, item.hi, item.split
+            )
+            self._inflight[future] = item
+            self._dispatched += 1
+            if self._dispatched > self._workers:
+                # Every dispatch past the workers' initial shards is a
+                # worker that finished early pulling queued work.
+                self.steals += 1
+                obs.counter("dse.steal").inc()
+
+    def _maybe_split_tail(self) -> None:
+        """Re-split the largest queued item if workers would go idle."""
+        if not self._tail_split:
+            return
+        idle = self._workers - len(self._inflight) - len(self._queue)
+        if idle <= 0 or not self._queue:
+            return
+        largest = max(self._queue, key=len)
+        pieces = min(idle + 1, len(largest) // MIN_SPLIT_POINTS)
+        if pieces < 2:
+            return
+        self._queue.remove(largest)
+        if not largest.split:
+            self._pieces_open.setdefault(largest.shard.index, 0)
+            if self._store is not None:
+                self._store.prepare_split(
+                    largest.shard,
+                    preserve=bool(self._skip.get(largest.shard.index)),
+                )
+        span = len(largest)
+        base, extra = divmod(span, pieces)
+        lo = largest.lo
+        for k in range(pieces):
+            size = base + (1 if k < extra else 0)
+            self._queue.append(
+                _WorkItem(largest.shard, lo, lo + size, split=True)
+            )
+            lo += size
+        self.requeued += pieces
+        obs.counter("dse.shard.requeued").inc(pieces)
+
+    # -- collection --------------------------------------------------------
+
+    def _collect(
+        self,
+        item: _WorkItem,
+        outcome: ShardOutcome,
+        outcomes: Dict[int, ShardOutcome],
+    ) -> None:
+        index = item.shard.index
+        self._busy_s[outcome.worker] = (
+            self._busy_s.get(outcome.worker, 0.0) + outcome.elapsed_s
+        )
+        self._pieces.setdefault(index, []).append(outcome)
+        self._pieces_open[index] -= 1
+        queued = any(i.shard.index == index for i in self._queue)
+        if self._pieces_open[index] or queued:
+            return  # more pieces of this shard still queued or running
+        merged = self._merge_pieces(item.shard, self._pieces.pop(index))
+        outcomes[index] = merged
+        for record in merged.records:
+            self._heartbeat.point(record, quiet=True)
+        self._heartbeat.shard(merged)
+
+    def _merge_pieces(
+        self, shard: Shard, pieces: List[ShardOutcome]
+    ) -> ShardOutcome:
+        if len(pieces) == 1:
+            return pieces[0]  # unsplit shard: the common case
+        merged = ShardOutcome(shard=shard.index, planned=len(shard))
+        for piece in pieces:
+            merged.records.extend(piece.records)
+            merged.estimated += piece.estimated
+            merged.elapsed_s += piece.elapsed_s
+        merged.worker = pieces[-1].worker
+        merged.records.sort(key=lambda r: r.index)
+        if self._store is not None:
+            self._store.finish(shard)  # pieces left the done marker to us
+        return merged
+
+    # -- reporting ---------------------------------------------------------
+
+    def _report_utilization(self, wall_s: float) -> None:
+        """Per-worker busy fraction over the parallel section's wall time."""
+        if wall_s <= 0 or not self._busy_s:
+            return
+        obs.gauge("dse.workers.active").set(len(self._busy_s))
+        for slot, pid in enumerate(sorted(self._busy_s)):
+            obs.gauge(f"dse.worker.{slot}.utilization").set(
+                round(min(self._busy_s[pid] / wall_s, 1.0), 4)
+            )
+
+
 def _run_shards_forked(
     benchmark, estimator, dataset, plan, pending, store, skip,
     workers, heartbeat, outcomes, batch_size=DEFAULT_BATCH_SIZE,
-) -> None:
+    tail_split: bool = True,
+) -> Tuple[int, int]:
     """Parallel path: fork workers after training, replay obs in parent.
 
     Workers inherit the estimator — including any warm estimation caches
     — through fork copy-on-write; each child's cache then grows
-    privately for the duration of its shards.
+    privately for the duration of its shards. Returns the scheduler's
+    (steals, requeued) tallies.
     """
     global _FORK_STATE
     ctx = multiprocessing.get_context("fork")
@@ -418,24 +639,22 @@ def _run_shards_forked(
         "skip": skip,
         "batch_size": batch_size,
     }
+    # Tail splitting can turn one pending shard into several pieces, so
+    # only cap the pool by the pending count when splitting is off.
+    pool_workers = (
+        workers if tail_split else min(workers, max(len(pending), 1))
+    )
     try:
         with ProcessPoolExecutor(
-            max_workers=min(workers, len(pending)),
+            max_workers=pool_workers,
             mp_context=ctx,
             initializer=_worker_init,
         ) as pool:
-            futures = {
-                pool.submit(_worker_run_shard, shard.index): shard
-                for shard in pending
-            }
-            not_done = set(futures)
-            while not_done:
-                done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-                for future in done:
-                    outcome = future.result()
-                    outcomes[outcome.shard] = outcome
-                    for record in outcome.records:
-                        heartbeat.point(record, quiet=True)
-                    heartbeat.shard(outcome)
+            scheduler = _Scheduler(
+                pool, pool_workers, pending,
+                store, skip, heartbeat, tail_split,
+            )
+            scheduler.run(outcomes)
     finally:
         _FORK_STATE = None
+    return scheduler.steals, scheduler.requeued

@@ -14,19 +14,45 @@ Every shard also carries its own derived RNG stream
 shards, for any stochastic work a shard-local policy may need (e.g. a
 guided-search extension). The point *enumeration* never consumes these
 streams, so using them cannot perturb reproducibility.
+
+Two scheduling extensions ride on the same invariant:
+
+* ``shard_range=(lo, hi)`` assigns a plan only the shards with global
+  index in ``[lo, hi)``. Because the *partition* is computed over the
+  full sample regardless of the range, disjoint ranges on disjoint hosts
+  tile the exact serial point set — the multi-host protocol's foundation
+  (see ``docs/runtime.md``).
+* ``shards="auto"`` picks a shard count ≫ workers (micro-shards) from a
+  :class:`ShardCostModel` seeded by past ``ShardOutcome.elapsed_s``
+  history, so the executor queue load-balances expensive regions instead
+  of letting one unlucky contiguous shard straggle.
 """
 
 from __future__ import annotations
 
 import random
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..params import ParamSpace
 
 Point = Dict[str, object]
 
 _MASK64 = (1 << 64) - 1
+
+#: Micro-shards per worker when sizing shards automatically. Small enough
+#: that shard bookkeeping stays negligible, large enough that one
+#: expensive contiguous region spreads over several queue entries.
+DEFAULT_OVERSUBSCRIPTION = 8
+
+#: Never auto-split below this many points per shard (checkpoint lines
+#: and heartbeat instants are per shard; pathological micro-shards would
+#: drown the sweep in bookkeeping).
+MIN_POINTS_PER_SHARD = 4
+
+#: Upper bound on automatically chosen shard counts.
+MAX_AUTO_SHARDS = 512
 
 
 def shard_seed(seed: int, index: int) -> int:
@@ -76,33 +102,162 @@ class Shard:
 
 @dataclass
 class ShardPlan:
-    """A full, partitioned enumeration of one benchmark's sampled space."""
+    """A partitioned enumeration of one benchmark's sampled space.
+
+    ``shards`` holds only the shards *assigned* to this plan. For a
+    whole-run plan that is the full partition; for a ranged plan
+    (``shard_range``) it is a contiguous subset of it. ``planned_shards``
+    and ``global_points`` always describe the full partition, so every
+    host in a multi-host split writes the same run manifest.
+    """
 
     seed: int
     max_points: int
     shards: List[Shard] = field(default_factory=list)
     space_cardinality: int = 0
+    planned_shards: int = 0
+    global_points: int = 0
+    shard_range: Optional[Tuple[int, int]] = None
 
     @property
     def total_points(self) -> int:
-        """Number of sampled points across all shards."""
+        """Number of sampled points across the *assigned* shards."""
         return sum(len(s) for s in self.shards)
 
     @property
     def n_shards(self) -> int:
-        """Number of shards in the plan."""
+        """Number of assigned shards in the plan."""
         return len(self.shards)
 
+    @property
+    def is_partial(self) -> bool:
+        """True when this plan covers a strict subset of the partition."""
+        return self.n_shards < self.planned_shards
+
     def sampled_points(self) -> List[Point]:
-        """The full sampled list in global-index order (serial order)."""
+        """The assigned sampled points in global-index order."""
         out: List[Point] = []
         for shard in self.shards:
             out.extend(shard.points)
         return out
 
 
+class ShardCostModel:
+    """Online per-point cost statistics from completed shards.
+
+    The scheduler feeds every finished :class:`ShardOutcome` back here
+    (``points``, ``elapsed_s``); :meth:`suggest_shards` then sizes
+    micro-shards for the *next* sweep. Two signals matter:
+
+    * the mean per-point cost is irrelevant to shard count (work
+      stealing balances any absolute cost), but
+    * the *dispersion* of per-shard per-point cost is exactly the
+      straggler risk — when shards that should cost the same diverge,
+      finer shards let the executor queue re-balance them.
+
+    Thread-safe; the default process-wide instance is
+    :data:`DEFAULT_COST_MODEL`.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        self._lock = threading.Lock()
+        self._window = max(int(window), 8)
+        self._costs: List[float] = []  # per-point seconds, recent shards
+
+    def observe(self, points: int, elapsed_s: float) -> None:
+        """Record one completed shard's (points, wall seconds)."""
+        if points <= 0 or elapsed_s <= 0:
+            return
+        with self._lock:
+            self._costs.append(elapsed_s / points)
+            if len(self._costs) > self._window:
+                del self._costs[: len(self._costs) - self._window]
+
+    @property
+    def samples(self) -> int:
+        """Number of shard observations currently in the window."""
+        return len(self._costs)
+
+    @property
+    def cost_per_point(self) -> float:
+        """Mean observed per-point cost in seconds (0.0 when empty)."""
+        with self._lock:
+            if not self._costs:
+                return 0.0
+            return sum(self._costs) / len(self._costs)
+
+    @property
+    def dispersion(self) -> float:
+        """Coefficient of variation of per-shard per-point cost.
+
+        0.0 with fewer than two observations — no evidence of skew.
+        """
+        with self._lock:
+            if len(self._costs) < 2:
+                return 0.0
+            mean = sum(self._costs) / len(self._costs)
+            if mean <= 0:
+                return 0.0
+            var = sum((c - mean) ** 2 for c in self._costs) / len(self._costs)
+            return (var ** 0.5) / mean
+
+    def suggest_shards(
+        self,
+        total_points: int,
+        workers: int,
+        oversubscription: int = DEFAULT_OVERSUBSCRIPTION,
+    ) -> int:
+        """Shard count for ``total_points`` across ``workers`` workers.
+
+        Baseline is ``workers * oversubscription`` micro-shards; observed
+        cost dispersion above ~25% doubles the oversubscription (finer
+        shards shrink the worst-case tail a straggler can hold), clamped
+        so no shard falls below :data:`MIN_POINTS_PER_SHARD` points and
+        the count never exceeds :data:`MAX_AUTO_SHARDS`.
+        """
+        if total_points <= 0:
+            return 1
+        factor = oversubscription
+        if self.dispersion > 0.25:
+            factor = oversubscription * 2
+        shards = max(workers, 1) * factor
+        shards = min(shards, MAX_AUTO_SHARDS,
+                     max(total_points // MIN_POINTS_PER_SHARD, 1))
+        return max(shards, 1)
+
+
+#: Process-wide cost history; ``run_plan`` feeds it, ``shards="auto"``
+#: consumes it. Reset-free: a bounded window forgets stale sweeps.
+DEFAULT_COST_MODEL = ShardCostModel()
+
+
+def resolve_shard_count(
+    shards: Union[int, str],
+    total_points: int,
+    workers: int = 1,
+    cost_model: Optional[ShardCostModel] = None,
+) -> int:
+    """Validate/resolve a shard-count request (``"auto"`` or a positive int)."""
+    if shards == "auto":
+        model = cost_model if cost_model is not None else DEFAULT_COST_MODEL
+        return model.suggest_shards(total_points, workers)
+    if not isinstance(shards, int) or isinstance(shards, bool):
+        raise ValueError(
+            f"shards must be a positive integer or 'auto', got {shards!r}"
+        )
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return shards
+
+
 def plan_shards(
-    space: ParamSpace, seed: int, max_points: int, shards: int = 1
+    space: ParamSpace,
+    seed: int,
+    max_points: int,
+    shards: Union[int, str] = 1,
+    shard_range: Optional[Tuple[int, int]] = None,
+    workers: int = 1,
+    cost_model: Optional[ShardCostModel] = None,
 ) -> ShardPlan:
     """Sample ``space`` exactly as the serial explorer would, then split.
 
@@ -110,23 +265,28 @@ def plan_shards(
     partition is contiguous and balanced: the first ``total % shards``
     shards get one extra point. A plan may contain fewer (non-empty)
     shards than requested when the sample is small.
+
+    ``shards="auto"`` sizes micro-shards from ``cost_model`` (default:
+    the process-wide :data:`DEFAULT_COST_MODEL`) and ``workers``.
+    ``shard_range=(lo, hi)`` assigns the plan only the shards with index
+    in ``[lo, hi)`` — the full partition is still computed first, so
+    disjoint ranges across hosts tile the serial point set exactly.
     """
-    if not isinstance(shards, int) or isinstance(shards, bool):
-        raise ValueError(f"shards must be a positive integer, got {shards!r}")
-    if shards < 1:
-        raise ValueError(f"shards must be >= 1, got {shards}")
     rng = random.Random(seed)
     sampled = space.sample(rng, max_points)
+    n_shards = resolve_shard_count(shards, len(sampled), workers, cost_model)
     plan = ShardPlan(
-        seed=seed, max_points=max_points, space_cardinality=space.cardinality
+        seed=seed, max_points=max_points, space_cardinality=space.cardinality,
+        global_points=len(sampled),
     )
-    base, extra = divmod(len(sampled), shards)
+    base, extra = divmod(len(sampled), n_shards)
     start = 0
-    for index in range(shards):
+    all_shards: List[Shard] = []
+    for index in range(n_shards):
         size = base + (1 if index < extra else 0)
         if size == 0:
             break  # fewer points than shards: drop empty trailing shards
-        plan.shards.append(
+        all_shards.append(
             Shard(
                 index=index,
                 start=start,
@@ -135,4 +295,23 @@ def plan_shards(
             )
         )
         start += size
+    plan.planned_shards = len(all_shards)
+    if shard_range is None:
+        plan.shards = all_shards
+        return plan
+    lo, hi = shard_range
+    if not (isinstance(lo, int) and isinstance(hi, int)) or isinstance(
+        lo, bool
+    ) or isinstance(hi, bool):
+        raise ValueError(
+            f"shard_range must be a pair of integers, got {shard_range!r}"
+        )
+    if not (0 <= lo < hi <= plan.planned_shards):
+        raise ValueError(
+            f"shard_range {lo}:{hi} outside the plan's "
+            f"{plan.planned_shards} shards (need 0 <= lo < hi <= "
+            f"{plan.planned_shards})"
+        )
+    plan.shard_range = (lo, hi)
+    plan.shards = [s for s in all_shards if lo <= s.index < hi]
     return plan

@@ -1,7 +1,7 @@
 """The engine's headline guarantee: shard/worker counts never change results.
 
 The matrix required by the runtime issue: ``explore(seed=S)`` with
-``shards ∈ {1, 2, 7}`` x ``workers ∈ {1, 2}`` must yield identical
+``shards ∈ {1, 2, 7, 16}`` x ``workers ∈ {1, 2}`` must yield identical
 sampled-point sets and identical Pareto fronts. Estimates must match
 exactly (not approximately): the parallel path runs the same estimator
 code on the same points, so even float results are bit-equal.
@@ -35,7 +35,7 @@ def serial(estimator):
 
 
 @pytest.mark.parametrize("workers", [1, 2])
-@pytest.mark.parametrize("shards", [1, 2, 7])
+@pytest.mark.parametrize("shards", [1, 2, 7, 16])
 def test_matrix_identical_to_serial(estimator, serial, shards, workers):
     bench = get_benchmark("tpchq6")
     result = explore(
@@ -45,6 +45,36 @@ def test_matrix_identical_to_serial(estimator, serial, shards, workers):
     assert fingerprint(result) == fingerprint(serial)
     assert front(result) == front(serial)
     assert result.legal_sampled == serial.legal_sampled
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_auto_shards_identical_to_serial(estimator, serial, workers):
+    """Cost-model micro-sharding is a scheduling detail, not a result."""
+    bench = get_benchmark("tpchq6")
+    result = explore(
+        bench, estimator, max_points=POINTS, seed=SEED,
+        shards="auto", workers=workers,
+    )
+    assert fingerprint(result) == fingerprint(serial)
+    assert front(result) == front(serial)
+    assert result.shards > workers  # genuinely micro-sharded
+
+
+def test_tail_split_identical_to_serial(estimator, serial):
+    """One big shard re-split in flight still sweeps the serial set."""
+    bench = get_benchmark("tpchq6")
+    result = explore(
+        bench, estimator, max_points=POINTS, seed=SEED,
+        shards=1, workers=2,
+    )
+    assert fingerprint(result) == fingerprint(serial)
+    assert result.requeued >= 2  # the single shard was split into pieces
+
+
+def test_explore_rejects_bogus_shard_string(estimator):
+    bench = get_benchmark("tpchq6")
+    with pytest.raises(ValueError, match="shards must be"):
+        explore(bench, estimator, max_points=12, shards="turbo")
 
 
 def test_default_shards_follow_workers(estimator):

@@ -1,0 +1,158 @@
+"""Streaming work-stealing scheduler: steals, gauges, mid-steal resume.
+
+The scheduler's observable behaviour — steal/requeue counters, per-worker
+utilization gauges — and its crash story: a sweep killed while split
+pieces of one shard are appending concurrently must resume to the exact
+serial point set, including when the kill tears a JSONL line in half.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.apps import get_benchmark
+from repro.dse import explore
+from repro.runtime import load_summary
+
+POINTS = 48
+SEED = 5
+
+
+@pytest.fixture()
+def bench():
+    return get_benchmark("tpchq6")
+
+
+@pytest.fixture(scope="module")
+def serial(estimator):
+    bench = get_benchmark("tpchq6")
+    return explore(bench, estimator, max_points=POINTS, seed=SEED)
+
+
+def fingerprint(result):
+    return [(p.params, p.cycles, p.alms) for p in result.points]
+
+
+class TestStealAccounting:
+    def test_steals_counted_and_reported(self, estimator, bench):
+        """Dispatches beyond the initial worker fill are steals."""
+        obs.reset()
+        obs.enable(metrics=True)
+        try:
+            result = explore(bench, estimator, max_points=POINTS,
+                             seed=SEED, shards=7, workers=2)
+            counted = obs.metrics().counter("dse.steal").value
+        finally:
+            obs.disable()
+            obs.reset()
+        assert result.steals == counted
+        # 7 shards, 2 workers: the first 2 dispatches are the fill, the
+        # remaining 5 are pulled by whichever worker frees up first.
+        assert result.steals == 5
+
+    def test_serial_runs_never_steal(self, estimator, bench):
+        result = explore(bench, estimator, max_points=POINTS,
+                         seed=SEED, shards=4, workers=1)
+        assert result.steals == 0
+        assert result.requeued == 0
+
+    def test_utilization_gauges_recorded(self, estimator, bench):
+        obs.reset()
+        obs.enable(metrics=True)
+        try:
+            explore(bench, estimator, max_points=POINTS, seed=SEED,
+                    shards=7, workers=2)
+            doc = obs.metrics().to_dict()
+        finally:
+            obs.disable()
+            obs.reset()
+        gauges = doc["gauges"]
+        active = int(gauges["dse.workers.active"])
+        assert 1 <= active <= 2
+        for slot in range(active):
+            utilization = gauges[f"dse.worker.{slot}.utilization"]
+            assert 0.0 <= utilization <= 1.0
+
+    def test_requeue_counter_matches_result(self, estimator, bench):
+        """Tail split (1 shard, 2 workers) shows up in dse.shard.requeued."""
+        obs.reset()
+        obs.enable(metrics=True)
+        try:
+            result = explore(bench, estimator, max_points=POINTS,
+                             seed=SEED, shards=1, workers=2)
+            counted = obs.metrics().counter("dse.shard.requeued").value
+        finally:
+            obs.disable()
+            obs.reset()
+        assert result.requeued == counted >= 2
+
+
+class TestSplitShardResume:
+    """Kill/resume round-trips through shard files written by split pieces."""
+
+    def _checkpointed(self, estimator, bench, tmp_path, **kwargs):
+        ckpt = tmp_path / "ckpt"
+        first = explore(bench, estimator, max_points=POINTS, seed=SEED,
+                        checkpoint_dir=ckpt, **kwargs)
+        return ckpt, first
+
+    def test_split_pieces_share_one_complete_shard_file(
+        self, estimator, bench, tmp_path
+    ):
+        ckpt, first = self._checkpointed(
+            estimator, bench, tmp_path, shards=1, workers=2
+        )
+        assert first.requeued >= 2
+        summary = load_summary(ckpt)
+        assert len(summary["shards"]) == 1
+        name, points, complete = summary["shards"][0]
+        assert complete and points == POINTS
+
+    def test_kill_mid_steal_resumes_to_serial(
+        self, estimator, bench, serial, tmp_path
+    ):
+        """Drop the done marker and the tail of a piece-written file."""
+        ckpt, first = self._checkpointed(
+            estimator, bench, tmp_path, shards=1, workers=2
+        )
+        assert first.requeued >= 2
+        path = ckpt / "shard-0000.jsonl"
+        lines = path.read_text().splitlines()
+        # Pieces append concurrently, so the file holds interleaved
+        # global indices; keep an arbitrary prefix (no done marker).
+        kept = [l for l in lines[: len(lines) // 2]
+                if json.loads(l).get("t") == "p"]
+        path.write_text("\n".join(kept) + "\n")
+
+        resumed = explore(bench, estimator, max_points=POINTS, seed=SEED,
+                          shards=1, workers=2, checkpoint_dir=ckpt,
+                          resume=True)
+        assert fingerprint(resumed) == fingerprint(serial)
+        assert 0 < resumed.restored < POINTS
+        summary = load_summary(ckpt)
+        assert all(complete for _, _, complete in summary["shards"])
+
+    def test_torn_tail_under_micro_sharding(
+        self, estimator, bench, serial, tmp_path
+    ):
+        """A kill mid-write under shards='auto' leaves a half-written line."""
+        ckpt, first = self._checkpointed(
+            estimator, bench, tmp_path, shards="auto", workers=2
+        )
+        assert first.shards > 2
+        shard_files = sorted(ckpt.glob("shard-*.jsonl"))
+        assert len(shard_files) == first.shards
+        # Tear one file mid-line and truncate another to half its records.
+        torn = shard_files[1].read_text()
+        shard_files[1].write_text(torn[:-40])
+        partial = shard_files[2].read_text().splitlines()
+        shard_files[2].write_text(
+            "\n".join(partial[: len(partial) // 2]) + "\n"
+        )
+
+        resumed = explore(bench, estimator, max_points=POINTS, seed=SEED,
+                          shards=first.total_shards, workers=2,
+                          checkpoint_dir=ckpt, resume=True)
+        assert fingerprint(resumed) == fingerprint(serial)
+        assert 0 < resumed.restored < POINTS

@@ -333,3 +333,101 @@ class TestStreamingTraceFlag:
                 "--trace-jsonl", str(tmp_path / "t.jsonl"),
                 "--span-cap", "-1",
             )
+
+
+class TestShardRangeFlags:
+    def test_malformed_range_is_friendly(self, estimator):
+        with pytest.raises(SystemExit, match="--shard-range expects A:B"):
+            run_cli(estimator, "explore", "tpchq6", "--shard-range", "3")
+
+    def test_non_integer_bounds_are_friendly(self, estimator):
+        with pytest.raises(SystemExit, match="expects integer bounds"):
+            run_cli(estimator, "explore", "tpchq6",
+                    "--shard-range", "a:b")
+
+    def test_empty_or_inverted_range_is_friendly(self, estimator):
+        for bad in ("2:2", "3:1", "-1:2"):
+            with pytest.raises(SystemExit, match="expects 0 <= A < B"):
+                # = form so argparse accepts a leading minus sign
+                run_cli(estimator, "explore", "tpchq6",
+                        f"--shard-range={bad}")
+
+    def test_range_requires_checkpoint_dir(self, estimator):
+        with pytest.raises(SystemExit,
+                           match="--shard-range requires --checkpoint-dir"):
+            run_cli(estimator, "explore", "tpchq6", "--points", "10",
+                    "--shards", "4", "--shard-range", "0:2")
+
+    def test_auto_shards_conflicts_with_shards(self, estimator):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            run_cli(estimator, "explore", "tpchq6",
+                    "--auto-shards", "--shards", "4")
+
+    def test_auto_shards_micro_shards(self, estimator):
+        code, text = run_cli(
+            estimator, "explore", "tpchq6", "--points", "24", "--seed", "2",
+            "--auto-shards",
+        )
+        assert code == 0
+        assert "shards x 1 workers" in text
+
+    def test_ranged_explore_reports_range(self, estimator, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        code, text = run_cli(
+            estimator, "explore", "tpchq6", "--points", "20", "--seed", "2",
+            "--shards", "4", "--shard-range", "0:2",
+            "--checkpoint-dir", str(ckpt),
+        )
+        assert code == 0
+        assert "(range 0:2 of 4 shards)" in text
+        assert (ckpt / "host-0000-0002.json").exists()
+
+
+class TestMergeCheckpoints:
+    def test_two_ranged_runs_merge_like_serial(self, estimator, tmp_path):
+        _, serial = run_cli(
+            estimator, "explore", "tpchq6", "--points", "20", "--seed", "2",
+        )
+        ckpt = tmp_path / "shared"
+        for rng in ("0:2", "2:4"):
+            code, _ = run_cli(
+                estimator, "explore", "tpchq6", "--points", "20",
+                "--seed", "2", "--shards", "4", "--shard-range", rng,
+                "--checkpoint-dir", str(ckpt),
+            )
+            assert code == 0
+        code, merged = run_cli(estimator, "merge-checkpoints", str(ckpt))
+        assert code == 0
+        assert "merged 20 points from 4 shards" in merged
+        # Identical Pareto table under the summary line.
+        assert merged.splitlines()[1:] == serial.splitlines()[1:]
+
+    def test_missing_range_fails_loudly(self, estimator, tmp_path):
+        ckpt = tmp_path / "partial"
+        run_cli(
+            estimator, "explore", "tpchq6", "--points", "20", "--seed", "2",
+            "--shards", "4", "--shard-range", "0:2",
+            "--checkpoint-dir", str(ckpt),
+        )
+        with pytest.raises(SystemExit, match="[Cc]onservation|planned"):
+            run_cli(estimator, "merge-checkpoints", str(ckpt))
+
+    def test_empty_directory_is_friendly(self, estimator, tmp_path):
+        with pytest.raises(SystemExit, match="no checkpoint manifest"):
+            run_cli(estimator, "merge-checkpoints", str(tmp_path / "none"))
+
+
+class TestSimTraceFlag:
+    def test_speedup_writes_sim_trace(self, estimator, tmp_path):
+        dest = tmp_path / "sim.json"
+        code, text = run_cli(
+            estimator, "speedup", "tpchq6", "--points", "10",
+            "--sim-trace", str(dest),
+        )
+        assert code == 0
+        assert "simulated-time slices" in text and str(dest) in text
+        doc = json.loads(dest.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert slices
+        assert all(isinstance(e["args"]["cycles"], (int, float))
+                   for e in slices)

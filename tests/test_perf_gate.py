@@ -96,3 +96,61 @@ class TestBaselineAndSkip:
             pytest.skip("BENCH_table4.json not yet regenerated")
         assert set(baseline) >= {"dotproduct", "gda"}
         assert all(s >= gate.REGRESSION_TOLERANCE for s in baseline.values())
+
+
+class TestRuntimeBaseline:
+    def test_extracts_parallel_and_stealing_ratios(self, gate, tmp_path):
+        doc = {
+            "parallel_dse": {
+                "workers": {
+                    "1": {"speedup_vs_serial": 1.0},
+                    "2": {"speedup_vs_serial": 1.8, "elapsed_s": 3.0},
+                }
+            },
+            "work_stealing": {"speedup": 1.5, "fixed": {}},
+        }
+        path = tmp_path / "BENCH_table4.json"
+        path.write_text(json.dumps(doc))
+        assert gate.load_runtime_baseline(path) == {
+            "parallel_dse.workers2": 1.8,
+            "work_stealing": 1.5,
+        }
+
+    def test_missing_file_is_empty(self, gate, tmp_path):
+        assert gate.load_runtime_baseline(tmp_path / "absent.json") == {}
+
+    def test_partial_sections_extract_partially(self, gate, tmp_path):
+        path = tmp_path / "BENCH_table4.json"
+        path.write_text(json.dumps({"work_stealing": {"speedup": 1.3}}))
+        assert gate.load_runtime_baseline(path) == {"work_stealing": 1.3}
+        path.write_text(json.dumps({"parallel_dse": {"workers": {"1": {}}}}))
+        assert gate.load_runtime_baseline(path) == {}
+
+    def test_runtime_keys_gate_through_evaluate(self, gate):
+        """The same ratio logic gates runtime keys: 30% floor applies."""
+        baseline = {"parallel_dse.workers2": 1.8, "work_stealing": 1.5}
+        ok, _ = gate.evaluate(
+            baseline,
+            {"parallel_dse.workers2": 1.27, "work_stealing": 1.06},
+        )
+        assert ok
+        ok, lines = gate.evaluate(
+            baseline,
+            {"parallel_dse.workers2": 1.2, "work_stealing": 1.5},
+        )
+        assert not ok
+        assert any(
+            "parallel_dse.workers2" in l and "REGRESSION" in l for l in lines
+        )
+
+    def test_committed_runtime_baseline_shape(self, gate):
+        baseline = gate.load_runtime_baseline()
+        if not baseline:
+            pytest.skip("BENCH_table4.json lacks runtime sections")
+        assert set(baseline) <= {"parallel_dse.workers2", "work_stealing"}
+        # parallel_dse can honestly be < 1.0 on a 1-core recording host
+        # (fork overhead with nothing to overlap); stealing never is —
+        # the skew sleeps overlap regardless of core count.
+        assert all(v > 0.0 for v in baseline.values())
+        if "work_stealing" in baseline:
+            assert baseline["work_stealing"] > 1.0
